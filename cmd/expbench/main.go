@@ -1,0 +1,208 @@
+// Command expbench regenerates every table and figure of the paper's
+// evaluation (§V). Run all experiments:
+//
+//	expbench -exp all -scale small
+//
+// or a single one (fig2, fig3/table1, fig4, fig6, table2, table3, sampling,
+// table4, fig7, table7, fig89, fig10, fig11, table6, zfprate, importance,
+// compare, fig12, fig13, table8, fig14, dump). Scale "tiny" is the CI
+// preset; "small" mirrors the paper's methodology (25 stationary points, 25
+// targets) at laptop size. The FRaZ-based experiments dominate the runtime;
+// bound them with -comps/-tcrs/-maxtest or skip them with -nofraz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/fxrz-go/fxrz/internal/exp"
+)
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment id or 'all'")
+		scale  = flag.String("scale", "small", "tiny | small")
+		maxTF  = flag.Int("maxtest", 2, "max test fields per app in comparison experiments")
+		noFRaZ = flag.Bool("nofraz", false, "skip the FRaZ baseline experiments (fig12/fig13/fig14/table8)")
+		comps  = flag.String("comps", "", "comma-separated compressor subset for comparison experiments (default: all)")
+		tcrs   = flag.Int("tcrs", 0, "override the number of target ratios per test field")
+	)
+	flag.Parse()
+	if err := run(*which, *scale, *maxTF, *noFRaZ, *comps, *tcrs); err != nil {
+		fmt.Fprintln(os.Stderr, "expbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which, scaleName string, maxTestFields int, noFRaZ bool, compsFlag string, tcrs int) error {
+	var scale exp.Scale
+	switch scaleName {
+	case "tiny":
+		scale = exp.Tiny
+	case "small":
+		scale = exp.Small
+	default:
+		return fmt.Errorf("unknown scale %q (want tiny or small)", scaleName)
+	}
+	if tcrs > 0 {
+		scale.TCRs = tcrs
+	}
+	comps := exp.CompressorNames
+	if compsFlag != "" {
+		comps = strings.Split(compsFlag, ",")
+	}
+	s := exp.NewSession(scale)
+	ids := strings.Split(which, ",")
+	if which == "all" {
+		ids = []string{"fig2", "fig3", "fig4", "fig6", "table2", "table3", "sampling", "table4", "fig7",
+			"table7", "fig89", "fig10", "fig11", "table6", "zfprate", "importance", "compare", "fig14", "dump"}
+		if noFRaZ {
+			ids = ids[:len(ids)-3]
+			ids = append(ids, "dump")
+		}
+	}
+
+	// The comparison experiments share one expensive Compare run.
+	var cmp *exp.CompareResult
+	needCompare := func() (*exp.CompareResult, error) {
+		if cmp != nil {
+			return cmp, nil
+		}
+		var err error
+		cmp, err = exp.Compare(s, exp.Apps, comps, maxTestFields)
+		return cmp, err
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		var out string
+		var err error
+		switch strings.TrimSpace(id) {
+		case "fig2":
+			var r *exp.Fig2Result
+			if r, err = exp.Fig2(s); err == nil {
+				out = r.String()
+			}
+		case "fig3", "table1":
+			var r *exp.Fig3Table1Result
+			if r, err = exp.Fig3Table1(s); err == nil {
+				out = r.String()
+			}
+		case "fig4":
+			var r *exp.Fig4Result
+			if r, err = exp.Fig4(s); err == nil {
+				out = r.String()
+			}
+		case "fig6":
+			var r *exp.Fig6Result
+			if r, err = exp.Fig6(s); err == nil {
+				out = r.String()
+			}
+		case "table2":
+			var r *exp.Table2Result
+			if r, err = exp.Table2(s); err == nil {
+				out = r.String()
+			}
+		case "table3":
+			var r *exp.Table3Result
+			if r, err = exp.Table3(s); err == nil {
+				out = r.String()
+			}
+		case "sampling":
+			var r *exp.SamplingResult
+			if r, err = exp.Sampling(s); err == nil {
+				out = r.String()
+			}
+		case "table4":
+			var r *exp.Table4Result
+			if r, err = exp.Table4(s); err == nil {
+				out = r.String()
+			}
+		case "fig7":
+			var r *exp.Fig7Result
+			if r, err = exp.Fig7(s); err == nil {
+				out = r.String()
+			}
+		case "table7":
+			var r *exp.Table7Result
+			if r, err = exp.Table7(s); err == nil {
+				out = r.String()
+			}
+		case "fig89":
+			var r *exp.Fig89Result
+			if r, err = exp.Fig89(s); err == nil {
+				out = r.String()
+			}
+		case "fig10":
+			var r *exp.Fig10Result
+			if r, err = exp.Fig10(s); err == nil {
+				out = r.String()
+			}
+		case "fig11":
+			var r *exp.Fig11Result
+			if r, err = exp.Fig11(s); err == nil {
+				out = r.String()
+			}
+		case "table6":
+			var r *exp.Table6Result
+			if r, err = exp.Table6(s); err == nil {
+				out = r.String()
+			}
+		case "compare":
+			var r *exp.CompareResult
+			if r, err = needCompare(); err == nil {
+				out = r.Fig12String() + "\n" + r.Fig13String() + "\n" + r.CapabilityString() + "\n" + r.Table8String()
+			}
+		case "capability":
+			var r *exp.CompareResult
+			if r, err = needCompare(); err == nil {
+				out = r.CapabilityString()
+			}
+		case "fig12":
+			var r *exp.CompareResult
+			if r, err = needCompare(); err == nil {
+				out = r.Fig12String()
+			}
+		case "fig13":
+			var r *exp.CompareResult
+			if r, err = needCompare(); err == nil {
+				out = r.Fig13String()
+			}
+		case "table8":
+			var r *exp.CompareResult
+			if r, err = needCompare(); err == nil {
+				out = r.Table8String()
+			}
+		case "fig14":
+			var r *exp.Fig14Result
+			if r, err = exp.Fig14(s); err == nil {
+				out = r.String()
+			}
+		case "importance":
+			var r *exp.ImportanceResult
+			if r, err = exp.Importance(s); err == nil {
+				out = r.String()
+			}
+		case "zfprate":
+			var r *exp.ZFPRateResult
+			if r, err = exp.ZFPRate(s); err == nil {
+				out = r.String()
+			}
+		case "dump":
+			var r *exp.DumpResult
+			if r, err = exp.Dump(s); err == nil {
+				out = r.String()
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("=== %s (scale %s, %v) ===\n%s\n", id, scale.Name, time.Since(start).Round(time.Millisecond), out)
+	}
+	return nil
+}

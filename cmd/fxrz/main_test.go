@@ -1,0 +1,67 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	fxrz "github.com/fxrz-go/fxrz"
+)
+
+func TestFieldFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.f32")
+	f, err := fxrz.NewField("nyx/test field", 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		f.Data[i] = float32(math.Sin(float64(i)))
+	}
+	if err := writeField(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := readField(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "nyx/test_field" { // spaces are sanitised in the header
+		t.Errorf("name = %q", g.Name)
+	}
+	if len(g.Dims) != 3 || g.Dims[0] != 3 || g.Dims[2] != 5 {
+		t.Errorf("dims = %v", g.Dims)
+	}
+	for i := range f.Data {
+		if f.Data[i] != g.Data[i] {
+			t.Fatalf("value %d: %v vs %v", i, f.Data[i], g.Data[i])
+		}
+	}
+}
+
+func TestReadFieldRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := writeBytes(p, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := readField(filepath.Join(dir, "missing.f32")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := readField(write("bad.f32", "not a field\n")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := readField(write("short.f32", "fxrzfield x 4 4\nshort")); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := readField(write("dims.f32", "fxrzfield x 4 nope\n")); err == nil {
+		t.Error("non-numeric dim accepted")
+	}
+}
+
+func writeBytes(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

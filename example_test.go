@@ -1,0 +1,89 @@
+package fxrz_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	fxrz "github.com/fxrz-go/fxrz"
+)
+
+// Example demonstrates the core fixed-ratio workflow: train once, then
+// compress toward target ratios without running the compressor to decide.
+func Example() {
+	// Training snapshots come from your application; any []float32 works.
+	var training []*fxrz.Field
+	for ts := 0; ts < 3; ts++ {
+		f, _ := fxrz.NewField(fmt.Sprintf("run1/ts%d", ts), 32, 32, 32)
+		fillDemo(f, ts)
+		training = append(training, f)
+	}
+	fw, err := fxrz.Train(fxrz.NewSZ(), training, fxrz.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snapshot, _ := fxrz.NewField("run2/ts7", 32, 32, 32)
+	fillDemo(snapshot, 7)
+
+	blob, est, err := fw.CompressToRatio(snapshot, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, _ := fxrz.Decompress(blob)
+	maxErr, _ := fxrz.MaxAbsError(snapshot, restored)
+	_ = est.Knob // the error bound FXRZ chose
+	fmt.Println(maxErr <= est.Knob)
+	// Output: true
+}
+
+// ExampleFramework_Save shows persisting a trained model for later runs.
+func ExampleFramework_Save() {
+	f, _ := fxrz.NewField("train", 24, 24, 24)
+	fillDemo(f, 1)
+	fw, err := fxrz.Train(fxrz.NewZFP(), []*fxrz.Field{f}, fxrz.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := fxrz.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(reloaded.Compressor().Name())
+	// Output: zfp
+}
+
+// ExampleFramework_BrickToRatio shows fixed-ratio compression with random
+// access: region reads decompress only the bricks they touch.
+func ExampleFramework_BrickToRatio() {
+	f, _ := fxrz.NewField("field", 32, 32, 32)
+	fillDemo(f, 2)
+	fw, err := fxrz.Train(fxrz.NewSZ(), []*fxrz.Field{f}, fxrz.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	snapshot, _ := fxrz.NewField("snap", 32, 32, 32)
+	fillDemo(snapshot, 3)
+	store, _, err := fw.BrickToRatio(snapshot, 10, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	region, err := store.ReadRegion([]int{8, 8, 8}, []int{4, 4, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(region.Size())
+	// Output: 64
+}
+
+// fillDemo writes a deterministic smooth field for the examples.
+func fillDemo(f *fxrz.Field, seed int) {
+	for i := range f.Data {
+		v := float32((i*(seed+3))%97)/97 + float32(i%13)*0.01
+		f.Data[i] = v
+	}
+}

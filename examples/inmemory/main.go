@@ -1,0 +1,97 @@
+// In-memory snapshot cache: a long-running simulation keeps past time steps
+// available for analysis, but memory is capped — the §III-B "limited memory
+// capacity" use case (quantum simulations needing exabytes keep state
+// compressed in RAM). The cache holds every snapshot compressed at a ratio
+// chosen so N snapshots fit the budget, and decompresses on access.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/datagen"
+)
+
+// cache is a fixed-footprint store of compressed snapshots.
+type cache struct {
+	fw       *fxrz.Framework
+	budget   int
+	capacity int // snapshots the budget must hold
+	used     int
+	blobs    map[int][]byte
+}
+
+func (c *cache) put(ts int, f *fxrz.Field) error {
+	perSnapshot := c.budget / c.capacity
+	// 20% headroom: estimation error on a single snapshot must not blow the
+	// shared budget.
+	target := 1.2 * float64(f.Bytes()) / float64(perSnapshot)
+	lo, hi := c.fw.ValidRatioRange(f)
+	if target < lo {
+		target = lo
+	}
+	if target > hi {
+		target = hi
+	}
+	blob, _, err := c.fw.CompressToRatio(f, target)
+	if err != nil {
+		return err
+	}
+	c.blobs[ts] = blob
+	c.used += len(blob)
+	return nil
+}
+
+func (c *cache) get(ts int) (*fxrz.Field, error) {
+	blob, ok := c.blobs[ts]
+	if !ok {
+		return nil, fmt.Errorf("no snapshot for ts %d", ts)
+	}
+	return fxrz.Decompress(blob)
+}
+
+func main() {
+	// Train on a short warm-up run.
+	var training []*fxrz.Field
+	for _, ts := range []int{2, 6, 10} {
+		f, err := datagen.HurricaneField("TC", ts, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		training = append(training, f)
+	}
+	fw, err := fxrz.Train(fxrz.NewZFP(), training, fxrz.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sampleBytes := training[0].Bytes()
+	steps := []int{12, 18, 24, 30, 36, 42, 48}
+	// Budget: the whole history in 1/6 of its raw footprint.
+	c := &cache{fw: fw, budget: sampleBytes * len(steps) / 6, capacity: len(steps), blobs: map[int][]byte{}}
+	fmt.Printf("cache budget %.2f MB for %d snapshots (%.2f MB raw)\n\n",
+		float64(c.budget)/1e6, len(steps), float64(sampleBytes*len(steps))/1e6)
+
+	for _, ts := range steps {
+		f, err := datagen.HurricaneField("TC", ts, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.put(ts, f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stored %d snapshots in %.2f MB — within budget: %v\n\n",
+		len(steps), float64(c.used)/1e6, c.used <= c.budget)
+
+	// Analysis replays a past step from the cache.
+	restored, err := c.get(30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig, _ := datagen.HurricaneField("TC", 30, 12)
+	psnr, _ := fxrz.PSNR(orig, restored)
+	maxErr, _ := fxrz.MaxAbsError(orig, restored)
+	fmt.Printf("replayed ts 30: PSNR %.1f dB, max abs error %.4g\n", psnr, maxErr)
+}

@@ -1,0 +1,64 @@
+// Quickstart: train FXRZ for the SZ compressor on a few snapshots, then
+// compress a new snapshot toward a target compression ratio — no manual
+// error-bound tuning, no trial-and-error compression runs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/datagen"
+)
+
+func main() {
+	// Training data: three time steps of a Nyx-like cosmology field. In a
+	// real deployment these are snapshots your application already produced
+	// (any []float32 via fxrz.FieldFromData works).
+	var training []*fxrz.Field
+	for _, ts := range []int{1, 3, 5} {
+		f, err := datagen.NyxField("baryon_density", 1, ts, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		training = append(training, f)
+	}
+
+	// Train once (runs the compressor ~25× per field); reuse forever.
+	fw, err := fxrz.Train(fxrz.NewSZ(), training, fxrz.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %v (stationary sweep %v, model fit %v)\n",
+		fw.Stats().Total().Round(1e6), fw.Stats().StationarySweep.Round(1e6), fw.Stats().ModelFit.Round(1e6))
+
+	// A new snapshot from a different simulation configuration.
+	snapshot, err := datagen.NyxField("baryon_density", 2, 2, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := fw.ValidRatioRange(snapshot)
+	fmt.Printf("valid target ratios for this snapshot: %.0f – %.0f\n", lo, hi)
+
+	target := lo + 0.5*(hi-lo)
+	blob, est, err := fw.CompressToRatio(snapshot, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target ratio %.0f → error bound %.4g chosen in %v (no compression runs)\n",
+		target, est.Knob, est.AnalysisTime().Round(1e3))
+	fmt.Printf("achieved ratio %.1f (%d → %d bytes)\n",
+		fxrz.Ratio(snapshot, blob), snapshot.Bytes(), len(blob))
+
+	// The stream decompresses like any SZ stream, with the error bound held.
+	restored, err := fxrz.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr, err := fxrz.MaxAbsError(snapshot, restored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	psnr, _ := fxrz.PSNR(snapshot, restored)
+	fmt.Printf("round trip: max abs error %.4g (bound %.4g), PSNR %.1f dB\n", maxErr, est.Knob, psnr)
+}

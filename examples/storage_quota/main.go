@@ -1,0 +1,145 @@
+// Storage quota: a simulation campaign must archive many fields under a
+// fixed disk quota — the §III-B "limited storage space" use case (e.g., a
+// 10 TB allocation on ANL Theta for runs producing hundreds of TB). The
+// campaign-wide quota translates into one target compression ratio; FXRZ
+// turns it into a *per-field* error bound, so smooth fields keep tight
+// bounds and rough fields get the looser bounds they actually need, instead
+// of one global worst-case bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/datagen"
+)
+
+func main() {
+	// Train per field type on configuration-1 outputs.
+	var training []*fxrz.Field
+	for _, field := range datagen.NyxFields {
+		for _, ts := range []int{1, 3, 5} {
+			f, err := datagen.NyxField(field, 1, ts, 32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			training = append(training, f)
+		}
+	}
+	fw, err := fxrz.Train(fxrz.NewSZ(), training, fxrz.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The campaign to archive: configuration-2 outputs (all four fields).
+	var campaign []*fxrz.Field
+	for _, field := range datagen.NyxFields {
+		f, err := datagen.NyxField(field, 2, 2, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		campaign = append(campaign, f)
+	}
+
+	var rawBytes int
+	for _, f := range campaign {
+		rawBytes += f.Bytes()
+	}
+	quota := rawBytes / 20 // archive must fit in 1/20 of the raw size
+	fmt.Printf("campaign: %d fields, %.1f MB raw, quota %.2f MB (ratio %d:1)\n\n",
+		len(campaign), float64(rawBytes)/1e6, float64(quota)/1e6, rawBytes/quota)
+
+	// Water-filling allocation: fields that cannot reach the campaign ratio
+	// are pinned at their achievable maximum, and the remaining quota is
+	// redistributed over the flexible fields (with 25% headroom for
+	// estimation error) until the assignment stabilises.
+	targets := make([]float64, len(campaign))
+	pinned := make([]bool, len(campaign))
+	for iter := 0; iter < 4; iter++ {
+		pinnedBytes, flexBytes := 0.0, 0.0
+		for i, f := range campaign {
+			_, hi := fw.ValidRatioRange(f)
+			if pinned[i] {
+				pinnedBytes += float64(f.Bytes()) / targets[i]
+			} else {
+				flexBytes += float64(f.Bytes())
+				_ = hi
+			}
+		}
+		remaining := float64(quota) - pinnedBytes
+		if remaining <= 0 || flexBytes == 0 {
+			break
+		}
+		need := 1.25 * flexBytes / remaining
+		changed := false
+		for i, f := range campaign {
+			if pinned[i] {
+				continue
+			}
+			lo, hi := fw.ValidRatioRange(f)
+			t := need
+			if t < lo {
+				t = lo
+			}
+			if t >= hi {
+				t = hi
+				pinned[i] = true
+				changed = true
+			}
+			targets[i] = t
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// First pass: compress every field at its allocated target.
+	blobs := make([][]byte, len(campaign))
+	knobs := make([]float64, len(campaign))
+	var archived int
+	for i, f := range campaign {
+		blob, est, err := fw.CompressToRatio(f, targets[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		blobs[i], knobs[i] = blob, est.Knob
+		archived += len(blob)
+	}
+
+	// Corrective pass: model estimates carry a few percent error; if the
+	// archive overflows, retarget the shortfall fields using their *measured*
+	// ratios (one extra compression each — still far cheaper than a search).
+	if archived > quota {
+		for i, f := range campaign {
+			mcr := fxrz.Ratio(f, blobs[i])
+			if mcr >= targets[i] {
+				continue
+			}
+			retry := targets[i] * targets[i] / mcr // scale by the observed shortfall
+			blob, est, err := fw.CompressToRatio(f, retry)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(blob) < len(blobs[i]) {
+				archived += len(blob) - len(blobs[i])
+				blobs[i], knobs[i], targets[i] = blob, est.Knob, retry
+			}
+			if archived <= quota {
+				break
+			}
+		}
+	}
+
+	for i, f := range campaign {
+		restored, err := fxrz.Decompress(blobs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, _ := fxrz.PSNR(f, restored)
+		fmt.Printf("%-36s target %6.1f  eb %9.3g  %8d B  ratio %6.1f  PSNR %5.1f dB\n",
+			f.Name, targets[i], knobs[i], len(blobs[i]), fxrz.Ratio(f, blobs[i]), psnr)
+	}
+	fmt.Printf("\narchive total: %.2f MB vs quota %.2f MB — fits: %v\n",
+		float64(archived)/1e6, float64(quota)/1e6, archived <= quota)
+}

@@ -1,0 +1,53 @@
+package fxrz_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	fxrz "github.com/fxrz-go/fxrz"
+)
+
+func TestPublicSaveLoad(t *testing.T) {
+	fw, err := fxrz.Train(fxrz.NewZFP(), trainFields(t), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fxrz.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Compressor().Name() != "zfp" {
+		t.Errorf("compressor = %q", got.Compressor().Name())
+	}
+	f := testField(t)
+	a, err := fw.EstimateConfig(f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.EstimateConfig(f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Knob != b.Knob {
+		t.Errorf("estimates diverge after reload: %v vs %v", a.Knob, b.Knob)
+	}
+	// The reloaded framework can drive the codec end to end.
+	blob, _, err := got.CompressToRatio(f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fxrz.Decompress(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicLoadGarbage(t *testing.T) {
+	if _, err := fxrz.Load(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage model accepted")
+	}
+}

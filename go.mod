@@ -1,0 +1,3 @@
+module github.com/fxrz-go/fxrz
+
+go 1.22

@@ -1,0 +1,312 @@
+// Package brick implements a chunked compressed store with random access:
+// a field is partitioned into fixed-size bricks, each compressed
+// independently, so analysis can decompress just the region it touches —
+// the access pattern ZFP's compressed arrays serve, generalised to every
+// codec in this repository. Combined with FXRZ, the brick knob can be
+// chosen for a target overall ratio without trial compression.
+package brick
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// Store holds one field compressed as independent bricks.
+type Store struct {
+	name      string
+	dims      []int
+	brickSide int
+	codec     compress.Compressor
+	// blobs are the per-brick compressed streams, in row-major brick order.
+	blobs [][]byte
+	// origins/shapes describe each brick's region (clipped at boundaries).
+	origins [][]int
+	shapes  [][]int
+}
+
+// Build compresses the field brick by brick at the given knob.
+func Build(c compress.Compressor, f *grid.Field, brickSide int, knob float64) (*Store, error) {
+	if brickSide < 2 {
+		return nil, fmt.Errorf("brick: side %d too small", brickSide)
+	}
+	s := &Store{
+		name: f.Name, dims: append([]int(nil), f.Dims...),
+		brickSide: brickSide, codec: c,
+	}
+	var buildErr error
+	grid.VisitBlocks(f, brickSide, func(b grid.Block, vals []float32) {
+		if buildErr != nil {
+			return
+		}
+		sub, err := grid.FromData(f.Name, append([]float32(nil), vals...), b.Shape...)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		blob, err := c.Compress(sub, knob)
+		if err != nil {
+			buildErr = fmt.Errorf("brick: compressing brick at %v: %w", b.Origin, err)
+			return
+		}
+		s.blobs = append(s.blobs, blob)
+		s.origins = append(s.origins, append([]int(nil), b.Origin...))
+		s.shapes = append(s.shapes, append([]int(nil), b.Shape...))
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return s, nil
+}
+
+// Bricks returns the number of bricks.
+func (s *Store) Bricks() int { return len(s.blobs) }
+
+// CompressedBytes returns the total compressed payload size.
+func (s *Store) CompressedBytes() int {
+	n := 0
+	for _, b := range s.blobs {
+		n += len(b)
+	}
+	return n
+}
+
+// Ratio returns the overall compression ratio (excluding in-memory index).
+func (s *Store) Ratio() float64 {
+	raw := 4
+	for _, d := range s.dims {
+		raw *= d
+	}
+	cb := s.CompressedBytes()
+	if cb == 0 {
+		return 0
+	}
+	return float64(raw) / float64(cb)
+}
+
+// ReadBrick decompresses one brick by index.
+func (s *Store) ReadBrick(i int) (*grid.Field, []int, error) {
+	if i < 0 || i >= len(s.blobs) {
+		return nil, nil, fmt.Errorf("brick: index %d out of range [0, %d)", i, len(s.blobs))
+	}
+	f, err := s.codec.Decompress(s.blobs[i])
+	if err != nil {
+		return nil, nil, fmt.Errorf("brick: decompressing brick %d: %w", i, err)
+	}
+	return f, s.origins[i], nil
+}
+
+// ReadRegion reconstructs an arbitrary sub-box [origin, origin+shape),
+// decompressing only the bricks that intersect it.
+func (s *Store) ReadRegion(origin, shape []int) (*grid.Field, error) {
+	nd := len(s.dims)
+	if len(origin) != nd || len(shape) != nd {
+		return nil, errors.New("brick: origin/shape dimensionality mismatch")
+	}
+	for d := 0; d < nd; d++ {
+		if origin[d] < 0 || shape[d] <= 0 || origin[d]+shape[d] > s.dims[d] {
+			return nil, fmt.Errorf("brick: region out of bounds in dim %d", d)
+		}
+	}
+	out, err := grid.New(s.name+"/region", shape...)
+	if err != nil {
+		return nil, err
+	}
+	outStrides := out.Strides()
+	touched := 0
+	for i := range s.blobs {
+		if !intersects(s.origins[i], s.shapes[i], origin, shape) {
+			continue
+		}
+		bf, borigin, err := s.ReadBrick(i)
+		if err != nil {
+			return nil, err
+		}
+		touched++
+		copyIntersection(out, origin, outStrides, bf, borigin)
+	}
+	if touched == 0 {
+		return nil, errors.New("brick: region matched no bricks (corrupt index)")
+	}
+	return out, nil
+}
+
+// ReadAll reconstructs the whole field.
+func (s *Store) ReadAll() (*grid.Field, error) {
+	origin := make([]int, len(s.dims))
+	f, err := s.ReadRegion(origin, s.dims)
+	if err != nil {
+		return nil, err
+	}
+	f.Name = s.name
+	return f, nil
+}
+
+func intersects(ao, as, bo, bs []int) bool {
+	for d := range ao {
+		if ao[d]+as[d] <= bo[d] || bo[d]+bs[d] <= ao[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// copyIntersection copies the overlap of a brick into the output region.
+func copyIntersection(out *grid.Field, regionOrigin, outStrides []int, brick *grid.Field, brickOrigin []int) {
+	nd := len(regionOrigin)
+	lo := make([]int, nd)
+	hi := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		lo[d] = maxI(brickOrigin[d], regionOrigin[d])
+		hi[d] = minI(brickOrigin[d]+brick.Dims[d], regionOrigin[d]+out.Dims[d])
+	}
+	brickStrides := brick.Strides()
+	coord := make([]int, nd)
+	copy(coord, lo)
+	for {
+		bi, oi := 0, 0
+		for d := 0; d < nd; d++ {
+			bi += (coord[d] - brickOrigin[d]) * brickStrides[d]
+			oi += (coord[d] - regionOrigin[d]) * outStrides[d]
+		}
+		out.Data[oi] = brick.Data[bi]
+		d := nd - 1
+		for d >= 0 {
+			coord[d]++
+			if coord[d] < hi[d] {
+				break
+			}
+			coord[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Marshal serialises the store (index + streams) for persistence.
+func (s *Store) Marshal() []byte {
+	out := []byte("FXRZBRK1")
+	out = append(out, byte(len(s.name)%256))
+	out = append(out, s.name[:len(s.name)%256]...)
+	out = append(out, byte(len(s.dims)))
+	for _, d := range s.dims {
+		out = binary.AppendUvarint(out, uint64(d))
+	}
+	out = binary.AppendUvarint(out, uint64(s.brickSide))
+	out = binary.AppendUvarint(out, uint64(len(s.blobs)))
+	for _, b := range s.blobs {
+		out = binary.AppendUvarint(out, uint64(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Unmarshal restores a store persisted with Marshal; the codec must be the
+// one the store was built with (its magic is validated on first read).
+func Unmarshal(c compress.Compressor, blob []byte) (*Store, error) {
+	if len(blob) < 8 || string(blob[:8]) != "FXRZBRK1" {
+		return nil, errors.New("brick: not a brick store")
+	}
+	blob = blob[8:]
+	if len(blob) < 1 {
+		return nil, errors.New("brick: truncated name")
+	}
+	nameLen := int(blob[0])
+	blob = blob[1:]
+	if len(blob) < nameLen+1 {
+		return nil, errors.New("brick: truncated header")
+	}
+	s := &Store{name: string(blob[:nameLen]), codec: c}
+	blob = blob[nameLen:]
+	nd := int(blob[0])
+	blob = blob[1:]
+	if nd == 0 || nd > grid.MaxDims {
+		return nil, fmt.Errorf("brick: bad dims count %d", nd)
+	}
+	for i := 0; i < nd; i++ {
+		d, k := binary.Uvarint(blob)
+		if k <= 0 || d == 0 {
+			return nil, errors.New("brick: bad dim")
+		}
+		s.dims = append(s.dims, int(d))
+		blob = blob[k:]
+	}
+	side, k := binary.Uvarint(blob)
+	if k <= 0 || side < 2 {
+		return nil, errors.New("brick: bad brick side")
+	}
+	s.brickSide = int(side)
+	blob = blob[k:]
+	count, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return nil, errors.New("brick: bad brick count")
+	}
+	blob = blob[k:]
+	for i := uint64(0); i < count; i++ {
+		n, k := binary.Uvarint(blob)
+		if k <= 0 || uint64(len(blob)-k) < n {
+			return nil, fmt.Errorf("brick: truncated brick %d", i)
+		}
+		blob = blob[k:]
+		s.blobs = append(s.blobs, blob[:n:n])
+		blob = blob[n:]
+	}
+	// Rebuild brick geometry from dims + side (must match Build's row-major
+	// block order) without materialising the field.
+	visitOrigins(s.dims, s.brickSide, func(origin []int) {
+		shape := make([]int, nd)
+		for d := range shape {
+			shape[d] = s.brickSide
+			if origin[d]+shape[d] > s.dims[d] {
+				shape[d] = s.dims[d] - origin[d]
+			}
+		}
+		s.origins = append(s.origins, append([]int(nil), origin...))
+		s.shapes = append(s.shapes, shape)
+	})
+	if len(s.origins) != len(s.blobs) {
+		return nil, fmt.Errorf("brick: %d streams for %d bricks", len(s.blobs), len(s.origins))
+	}
+	return s, nil
+}
+
+// visitOrigins iterates brick origins in the same row-major order
+// grid.VisitBlocks uses.
+func visitOrigins(dims []int, side int, fn func(origin []int)) {
+	nd := len(dims)
+	origin := make([]int, nd)
+	for {
+		fn(origin)
+		d := nd - 1
+		for d >= 0 {
+			origin[d] += side
+			if origin[d] < dims[d] {
+				break
+			}
+			origin[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+// Package compress defines the error-controlled lossy compressor abstraction
+// shared by the SZ-, ZFP-, FPZIP- and MGARD-like codecs, together with the
+// "configuration axis" concept FXRZ regresses over.
+//
+// Every codec in this repository is driven by a single scalar knob. For
+// SZ/ZFP/MGARD the knob is an absolute error bound; for FPZIP it is an
+// integer precision (number of retained significant bits, 1..32). FXRZ is
+// compressor-agnostic precisely because it only ever manipulates the knob
+// through the Axis interface: the ML model regresses the axis' model-space
+// value (log10 of the bound, or the precision itself) against data features
+// and the adjusted target ratio.
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// ErrCorrupt reports a malformed compressed stream.
+var ErrCorrupt = errors.New("compress: corrupt stream")
+
+// Compressor is an error-controlled lossy compressor.
+type Compressor interface {
+	// Name returns the codec identifier used in experiment tables
+	// ("sz", "zfp", "fpzip", "mgard").
+	Name() string
+	// Axis describes the codec's configuration knob.
+	Axis() Axis
+	// Compress encodes the field under the given knob setting.
+	Compress(f *grid.Field, knob float64) ([]byte, error)
+	// Decompress reconstructs a field from an encoded stream.
+	Decompress(blob []byte) (*grid.Field, error)
+}
+
+// AxisKind distinguishes the two knob semantics in the evaluated codecs.
+type AxisKind int
+
+const (
+	// AbsErrorBound knobs are positive absolute L∞ error bounds; the model
+	// space is log10(knob) because ratios vary with the bound's exponent.
+	AbsErrorBound AxisKind = iota
+	// Precision knobs are integer bit precisions (FPZIP, 1..32); larger
+	// precision means lower error and lower ratio, so the model space is the
+	// negated precision to keep "larger model value → larger ratio".
+	Precision
+)
+
+// Axis describes a codec's configuration knob and its valid domain.
+type Axis struct {
+	Kind AxisKind
+	// Min and Max bound the knob domain used for training sweeps and for
+	// FRaZ's search range.
+	Min, Max float64
+}
+
+// ToModel maps a knob value into the space the ML model regresses in.
+func (a Axis) ToModel(knob float64) float64 {
+	switch a.Kind {
+	case AbsErrorBound:
+		return math.Log10(knob)
+	default:
+		return -knob
+	}
+}
+
+// FromModel inverts ToModel and clamps into the valid domain.
+func (a Axis) FromModel(v float64) float64 {
+	var knob float64
+	switch a.Kind {
+	case AbsErrorBound:
+		knob = math.Pow(10, v)
+	default:
+		knob = math.Round(-v)
+	}
+	return a.Clamp(knob)
+}
+
+// Clamp restricts a knob to the axis domain (and rounds precisions).
+func (a Axis) Clamp(knob float64) float64 {
+	if a.Kind == Precision {
+		knob = math.Round(knob)
+	}
+	if knob < a.Min {
+		knob = a.Min
+	}
+	if knob > a.Max {
+		knob = a.Max
+	}
+	return knob
+}
+
+// Span returns n knob settings covering the domain: log-uniform for error
+// bounds (matching the paper's "uniformly spanned ... error bound settings"
+// over exponents), integer-uniform for precisions. n must be >= 2.
+func (a Axis) Span(n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, 0, n)
+	switch a.Kind {
+	case AbsErrorBound:
+		lo, hi := math.Log10(a.Min), math.Log10(a.Max)
+		for i := 0; i < n; i++ {
+			out = append(out, math.Pow(10, lo+(hi-lo)*float64(i)/float64(n-1)))
+		}
+	default:
+		lo, hi := a.Min, a.Max
+		prev := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			p := math.Round(lo + (hi-lo)*float64(i)/float64(n-1))
+			if p != prev {
+				out = append(out, p)
+				prev = p
+			}
+		}
+	}
+	return out
+}
+
+// MaxPlausibleElems bounds the element count a payload of the given size
+// could plausibly encode with any built-in codec. The most compact real
+// streams (constant fields through the LZ stage) stay far below 65536
+// elements per payload byte; decoders reject headers claiming more before
+// allocating, so corrupt streams cannot demand gigabyte buffers.
+func MaxPlausibleElems(payloadLen int) int { return 65536*payloadLen + 65536 }
+
+// Ratio returns the compression ratio of an encoded stream for a field.
+func Ratio(f *grid.Field, blob []byte) float64 {
+	if len(blob) == 0 {
+		return 0
+	}
+	return float64(f.Bytes()) / float64(len(blob))
+}
+
+// MaxAbsError returns the L∞ distance between two equally-shaped fields.
+func MaxAbsError(a, b *grid.Field) (float64, error) {
+	if a.Size() != b.Size() {
+		return 0, fmt.Errorf("compress: size mismatch %d vs %d", a.Size(), b.Size())
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// CompressRatio is a convenience that compresses and reports the ratio.
+func CompressRatio(c Compressor, f *grid.Field, knob float64) (float64, error) {
+	blob, err := c.Compress(f, knob)
+	if err != nil {
+		return 0, err
+	}
+	return Ratio(f, blob), nil
+}

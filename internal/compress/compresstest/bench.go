@@ -1,0 +1,63 @@
+package compresstest
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// BenchField is the standard 64³ multi-scale field used by the per-codec
+// throughput benchmarks: smooth large-scale structure plus a rough octave,
+// representative of the synthetic application data.
+func BenchField() *grid.Field {
+	n := 64
+	f := grid.MustNew("bench", n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				v := math.Sin(float64(z)/17)*math.Cos(float64(y)/13) +
+					0.3*math.Sin(float64(x)/5+float64(y)/7) +
+					0.05*math.Sin(float64(x+y+z)/2)
+				f.Set(float32(v), z, y, x)
+			}
+		}
+	}
+	return f
+}
+
+// BenchCompress measures compression throughput at a knob; the reported
+// MB/s metric is raw input bytes per second.
+func BenchCompress(b *testing.B, c compress.Compressor, knob float64) {
+	b.Helper()
+	f := BenchField()
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		blob, err := c.Compress(f, knob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = compress.Ratio(f, blob)
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// BenchDecompress measures decompression throughput.
+func BenchDecompress(b *testing.B, c compress.Compressor, knob float64) {
+	b.Helper()
+	f := BenchField()
+	blob, err := c.Compress(f, knob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// RelBound wraps an absolute-error-bound compressor as a value-range
+// relative one (SZ's "REL" mode, §II): the knob becomes eb/valueRange, so
+// the same setting means the same proportional distortion on any dataset.
+// Decompression is unchanged — the wrapped codec's absolute bound is stored
+// in the stream as usual.
+type RelBound struct {
+	// Inner is the wrapped absolute-bound codec.
+	Inner Compressor
+}
+
+// NewRelBound wraps an absolute-error-bound codec. Wrapping a precision-knob
+// codec is rejected at Compress time.
+func NewRelBound(inner Compressor) *RelBound { return &RelBound{Inner: inner} }
+
+// Name implements Compressor.
+func (r *RelBound) Name() string { return r.Inner.Name() + "-rel" }
+
+// Axis implements Compressor: relative bounds live in (0, 1].
+func (r *RelBound) Axis() Axis {
+	return Axis{Kind: AbsErrorBound, Min: 1e-9, Max: 1}
+}
+
+// Compress implements Compressor: the relative knob is scaled by the field's
+// value range before delegating. A constant field (range 0) compresses with
+// a tiny absolute bound.
+func (r *RelBound) Compress(f *grid.Field, rel float64) ([]byte, error) {
+	if r.Inner.Axis().Kind != AbsErrorBound {
+		return nil, fmt.Errorf("compress: cannot wrap precision codec %s as relative-bound", r.Inner.Name())
+	}
+	if !(rel > 0) || rel > 1 || math.IsNaN(rel) {
+		return nil, fmt.Errorf("compress: relative bound must be in (0, 1], got %v", rel)
+	}
+	vr := f.ValueRange()
+	abs := rel * vr
+	if abs <= 0 {
+		abs = 1e-12
+	}
+	return r.Inner.Compress(f, abs)
+}
+
+// Decompress implements Compressor.
+func (r *RelBound) Decompress(blob []byte) (*grid.Field, error) {
+	return r.Inner.Decompress(blob)
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/compress/compresstest"
+)
+
+func BenchmarkExtractFeaturesStride4(b *testing.B) {
+	f := compresstest.BenchField()
+	b.SetBytes(int64(f.Bytes()))
+	for i := 0; i < b.N; i++ {
+		ExtractFeatures(f, 4)
+	}
+}
+
+func BenchmarkExtractFeaturesFull(b *testing.B) {
+	f := compresstest.BenchField()
+	b.SetBytes(int64(f.Bytes()))
+	for i := 0; i < b.N; i++ {
+		ExtractFeatures(f, 1)
+	}
+}
+
+func BenchmarkNonConstantRatio(b *testing.B) {
+	f := compresstest.BenchField()
+	b.SetBytes(int64(f.Bytes()))
+	for i := 0; i < b.N; i++ {
+		NonConstantRatio(f, 4, 0.15)
+	}
+}

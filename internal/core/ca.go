@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// DefaultLambda is the constant-block threshold coefficient the paper's
+// Table IV identifies as optimal (λ = 0.15 of the mean value).
+const DefaultLambda = 0.15
+
+// DefaultBlockSide matches the paper's 4×4×4 CA blocks.
+const DefaultBlockSide = 4
+
+// NonConstantRatio implements the Compressibility Adjustment scan (§IV-E2):
+// the field is split into blockSide^d blocks; a block whose value range is
+// below λ·|mean value of the dataset| is "constant" (its compressed size is
+// taken as ~0); R is the fraction of non-constant blocks. The adjusted
+// compression ratio fed to the model is ACR = TCR · R (Formula 4).
+func NonConstantRatio(f *grid.Field, blockSide int, lambda float64) float64 {
+	if blockSide <= 0 {
+		blockSide = DefaultBlockSide
+	}
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	threshold := lambda * math.Abs(f.Mean())
+	total, nonConst := 0, 0
+	grid.VisitBlocks(f, blockSide, func(_ grid.Block, vals []float32) {
+		total++
+		mn, mx := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if float64(mx-mn) >= threshold {
+			nonConst++
+		}
+	})
+	if total == 0 {
+		return 1
+	}
+	r := float64(nonConst) / float64(total)
+	if r == 0 {
+		// A fully constant dataset still compresses to *something*; keep the
+		// adjustment away from zero so ACR stays meaningful.
+		r = 1 / float64(total)
+	}
+	return r
+}
+
+// AdjustRatio applies Formula (4): ACR = TCR · R.
+func AdjustRatio(tcr, r float64) float64 { return tcr * r }

@@ -1,0 +1,236 @@
+// Package core implements FXRZ, the paper's contribution: a feature-driven,
+// compressor-agnostic, fixed-ratio lossy compression framework. Given a
+// dataset and a target compression ratio, FXRZ estimates the error-bound (or
+// precision) setting that reaches the target without ever running the
+// compressor at inference time.
+//
+// The pieces map to the paper's Fig 1 architecture:
+//
+//	features.go — §IV-C feature extraction (with §IV-E1 stride sampling)
+//	curve.go    — §IV-B stationary points + interpolation-based augmentation
+//	ca.go       — §IV-E2 Compressibility Adjustment (constant-block ratio)
+//	train.go    — the training engine (ML model over augmented samples)
+//	infer.go    — the inference engine (features + ACR → error configuration)
+package core
+
+import (
+	"math"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// Features holds the eight candidate data features of §IV-C. The five the
+// paper adopts (Table II) come first; the three gradient features are kept
+// for the feature-correlation experiment but excluded from the model input.
+type Features struct {
+	ValueRange   float64 // max - min
+	MeanValue    float64 // arithmetic mean
+	MND          float64 // mean |v - mean(neighbors)|
+	MLD          float64 // mean |v - lorenzo(v)|
+	MSD          float64 // mean |v - spline(v)| (equation 3 stencil)
+	MeanGradient float64 // mean |v - previous v| along each dimension
+	MinGradient  float64
+	MaxGradient  float64
+}
+
+// Vector returns the five adopted features as the model input prefix, in a
+// fixed order.
+func (ft Features) Vector() []float64 {
+	return []float64{ft.ValueRange, ft.MeanValue, ft.MND, ft.MLD, ft.MSD}
+}
+
+// FullVector returns all eight features (Table II order).
+func (ft Features) FullVector() []float64 {
+	return []float64{ft.ValueRange, ft.MeanValue, ft.MND, ft.MLD, ft.MSD,
+		ft.MeanGradient, ft.MinGradient, ft.MaxGradient}
+}
+
+// FeatureNames lists the names in Vector()/FullVector() order.
+var FeatureNames = []string{"ValueRange", "MeanValue", "MND", "MLD", "MSD",
+	"MeanGradient", "MinGradient", "MaxGradient"}
+
+// ExtractFeatures computes the features on a uniform stride-K sample of the
+// field (§IV-E1): the field is subsampled to a coarse grid (stride 4 keeps
+// ~1.5% of a 3D field) and all neighborhood features are evaluated on that
+// grid. stride <= 1 uses every point.
+func ExtractFeatures(f *grid.Field, stride int) Features {
+	// The stride is applied as-is even when it degenerates small grids: a
+	// framework must extract features identically for every field it sees
+	// (training and inference), and a per-field adaptive stride would make
+	// smoothness features incomparable between a small training mesh and a
+	// larger production mesh.
+	s := f
+	if stride > 1 {
+		s = grid.Subsample(f, stride)
+	}
+	var ft Features
+	mn, mx := s.Range()
+	ft.ValueRange = mx - mn
+	ft.MeanValue = s.Mean()
+	ft.MND = meanNeighborDiff(s)
+	ft.MLD = meanLorenzoDiff(s)
+	ft.MSD = meanSplineDiff(s)
+	ft.MeanGradient, ft.MinGradient, ft.MaxGradient = gradients(s)
+	return ft
+}
+
+// meanNeighborDiff averages |v - mean(axis neighbors)| over all points; each
+// point uses the ±1 neighbors along every dimension that exist.
+func meanNeighborDiff(f *grid.Field) float64 {
+	dims := f.Dims
+	strides := f.Strides()
+	nd := len(dims)
+	coord := make([]int, nd)
+	var total float64
+	for idx := range f.Data {
+		var sum float64
+		var cnt int
+		for d := 0; d < nd; d++ {
+			if coord[d] > 0 {
+				sum += float64(f.Data[idx-strides[d]])
+				cnt++
+			}
+			if coord[d]+1 < dims[d] {
+				sum += float64(f.Data[idx+strides[d]])
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			total += math.Abs(float64(f.Data[idx]) - sum/float64(cnt))
+		}
+		advance(coord, dims)
+	}
+	return total / float64(f.Size())
+}
+
+// meanLorenzoDiff averages |v - lorenzoPrediction| over interior points,
+// using the inclusion–exclusion Lorenzo stencil of equations (1)–(2).
+func meanLorenzoDiff(f *grid.Field) float64 {
+	dims := f.Dims
+	strides := f.Strides()
+	nd := len(dims)
+	nmask := 1 << nd
+
+	// Precompute offsets and signs for each non-empty dimension subset.
+	offs := make([]int, nmask)
+	signs := make([]float64, nmask)
+	for m := 1; m < nmask; m++ {
+		bitcnt := 0
+		for d := 0; d < nd; d++ {
+			if m&(1<<d) != 0 {
+				offs[m] += strides[d]
+				bitcnt++
+			}
+		}
+		if bitcnt%2 == 1 {
+			signs[m] = 1
+		} else {
+			signs[m] = -1
+		}
+	}
+
+	coord := make([]int, nd)
+	var total float64
+	var count int
+	for idx := range f.Data {
+		interior := true
+		for d := 0; d < nd; d++ {
+			if coord[d] == 0 {
+				interior = false
+				break
+			}
+		}
+		if interior {
+			var pred float64
+			for m := 1; m < nmask; m++ {
+				pred += signs[m] * float64(f.Data[idx-offs[m]])
+			}
+			total += math.Abs(float64(f.Data[idx]) - pred)
+			count++
+		}
+		advance(coord, dims)
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// meanSplineDiff averages |v - A| where A is the mean over dimensions of the
+// cubic spline-interpolation fit of equation (3):
+// spline_i = -1/16·d[i-3] + 9/16·d[i-1] + 9/16·d[i+1] - 1/16·d[i+3].
+// Dimensions whose stencil does not fit at a point are skipped; points with
+// no fitting dimension are skipped.
+func meanSplineDiff(f *grid.Field) float64 {
+	dims := f.Dims
+	strides := f.Strides()
+	nd := len(dims)
+	coord := make([]int, nd)
+	var total float64
+	var count int
+	for idx := range f.Data {
+		var sum float64
+		var fit int
+		for d := 0; d < nd; d++ {
+			if coord[d] >= 3 && coord[d]+3 < dims[d] {
+				s := strides[d]
+				sp := -1.0/16*float64(f.Data[idx-3*s]) + 9.0/16*float64(f.Data[idx-s]) +
+					9.0/16*float64(f.Data[idx+s]) - 1.0/16*float64(f.Data[idx+3*s])
+				sum += sp
+				fit++
+			}
+		}
+		if fit > 0 {
+			total += math.Abs(float64(f.Data[idx]) - sum/float64(fit))
+			count++
+		}
+		advance(coord, dims)
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// gradients returns (mean, min, max) of |v - previous v| over all adjacent
+// pairs along every dimension.
+func gradients(f *grid.Field) (mean, min, max float64) {
+	dims := f.Dims
+	strides := f.Strides()
+	nd := len(dims)
+	coord := make([]int, nd)
+	min = math.Inf(1)
+	var total float64
+	var count int
+	for idx := range f.Data {
+		for d := 0; d < nd; d++ {
+			if coord[d] > 0 {
+				g := math.Abs(float64(f.Data[idx]) - float64(f.Data[idx-strides[d]]))
+				total += g
+				count++
+				if g < min {
+					min = g
+				}
+				if g > max {
+					max = g
+				}
+			}
+		}
+		advance(coord, dims)
+	}
+	if count == 0 {
+		return 0, 0, 0
+	}
+	return total / float64(count), min, max
+}
+
+// advance steps a row-major coordinate odometer.
+func advance(coord, dims []int) {
+	for d := len(dims) - 1; d >= 0; d-- {
+		coord[d]++
+		if coord[d] < dims[d] {
+			return
+		}
+		coord[d] = 0
+	}
+}

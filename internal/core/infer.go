@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// Estimate is the inference engine's output: the recommended knob plus the
+// analysis breakdown the performance evaluation (Table VIII) reports.
+type Estimate struct {
+	// Knob is the error bound (or precision) predicted to reach the target.
+	Knob float64
+	// AdjustedRatio is the ACR actually fed to the model (== TCR when CA is
+	// disabled).
+	AdjustedRatio float64
+	// NonConstantR is the CA block ratio R of the analysed field.
+	NonConstantR float64
+	// Extrapolating is set when the adjusted target falls outside the ratio
+	// hull seen in training; the prediction is clamped-quality only.
+	Extrapolating bool
+	// FeatureTime, CATime and PredictTime decompose the analysis cost.
+	FeatureTime time.Duration
+	CATime      time.Duration
+	PredictTime time.Duration
+}
+
+// AnalysisTime is the total inference cost (the paper's "analysis time").
+func (e Estimate) AnalysisTime() time.Duration {
+	return e.FeatureTime + e.CATime + e.PredictTime
+}
+
+// ValidRatioRange reports the target-ratio interval the framework can serve
+// for the given field without extrapolating: the training ratio hull mapped
+// back through the field's Compressibility Adjustment factor. It mirrors the
+// paper's per-dataset "valid range of compression ratios" (Fig 11).
+func (fw *Framework) ValidRatioRange(f *grid.Field) (lo, hi float64) {
+	r := 1.0
+	if fw.cfg.UseCA {
+		r = NonConstantRatio(f, fw.cfg.BlockSide, fw.cfg.Lambda)
+	}
+	return fw.ratioLo / r, fw.ratioHi / r
+}
+
+// EstimateConfig runs FXRZ inference: extract features from a stride sample
+// of the field, apply the Compressibility Adjustment to the target ratio,
+// and query the model for the knob. No compressor is executed.
+func (fw *Framework) EstimateConfig(f *grid.Field, targetRatio float64) (Estimate, error) {
+	if fw.model == nil {
+		return Estimate{}, fmt.Errorf("core: framework not trained")
+	}
+	if !(targetRatio > 0) || math.IsInf(targetRatio, 0) {
+		return Estimate{}, fmt.Errorf("core: target ratio must be a positive finite number, got %v", targetRatio)
+	}
+	var est Estimate
+
+	t0 := time.Now()
+	feats := ExtractFeatures(f, fw.cfg.Stride).Vector()
+	est.FeatureTime = time.Since(t0)
+
+	est.NonConstantR = 1
+	if fw.cfg.UseCA {
+		t1 := time.Now()
+		est.NonConstantR = NonConstantRatio(f, fw.cfg.BlockSide, fw.cfg.Lambda)
+		est.CATime = time.Since(t1)
+	}
+	est.AdjustedRatio = AdjustRatio(targetRatio, est.NonConstantR)
+	if est.AdjustedRatio < fw.ratioLo || est.AdjustedRatio > fw.ratioHi {
+		est.Extrapolating = true
+	}
+
+	t2 := time.Now()
+	x := append(append([]float64(nil), feats...), est.AdjustedRatio)
+	est.Knob = fw.axis.FromModel(fw.model.Predict(x))
+	est.PredictTime = time.Since(t2)
+	return est, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/ml"
+)
+
+// Framework persistence: a trained model is saved once and reused by many
+// runs (and, per the paper's §III-A, by many *users* of the same application
+// package). Only random-forest frameworks are persistable — the paper adopts
+// RFR, and AdaBoost/SVR exist for the Table III comparison.
+
+const persistMagic = "FXRZMODEL1"
+
+type frameworkDTO struct {
+	Cfg        Config
+	AxisKind   int
+	AxisMin    float64
+	AxisMax    float64
+	Compressor string
+	Forest     []byte
+	RatioLo    float64
+	RatioHi    float64
+	Stats      TrainStats
+}
+
+// Save writes a trained framework to w.
+func (fw *Framework) Save(w io.Writer) error {
+	forest, ok := fw.model.(*ml.Forest)
+	if !ok {
+		return fmt.Errorf("core: only %s frameworks can be saved (have %T)", ModelRFR, fw.model)
+	}
+	blob, err := forest.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	dto := frameworkDTO{
+		Cfg:      fw.cfg,
+		AxisKind: int(fw.axis.Kind), AxisMin: fw.axis.Min, AxisMax: fw.axis.Max,
+		Compressor: fw.compressor,
+		Forest:     blob,
+		RatioLo:    fw.ratioLo, RatioHi: fw.ratioHi,
+		Stats: fw.stats,
+	}
+	if _, err := io.WriteString(w, persistMagic); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("core: encode framework: %w", err)
+	}
+	return nil
+}
+
+// LoadFramework restores a framework saved with Save. The caller is
+// responsible for pairing it with the same compressor it was trained for
+// (CompressorName tells which).
+func LoadFramework(r io.Reader) (*Framework, error) {
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("core: reading model header: %w", err)
+	}
+	if !bytes.Equal(magic, []byte(persistMagic)) {
+		return nil, fmt.Errorf("core: not an FXRZ model file")
+	}
+	var dto frameworkDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: decode framework: %w", err)
+	}
+	forest := &ml.Forest{}
+	if err := forest.UnmarshalBinary(dto.Forest); err != nil {
+		return nil, err
+	}
+	return &Framework{
+		cfg:        dto.Cfg,
+		axis:       compress.Axis{Kind: compress.AxisKind(dto.AxisKind), Min: dto.AxisMin, Max: dto.AxisMax},
+		compressor: dto.Compressor,
+		model:      forest,
+		stats:      dto.Stats,
+		ratioLo:    dto.RatioLo,
+		ratioHi:    dto.RatioHi,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fc := &fakeCompressor{scale: 100}
+	var fields []*grid.Field
+	for i := 0; i < 2; i++ {
+		fields = append(fields, waveField("train", 12, float64(2+i)))
+	}
+	fw, err := Train(fc, fields, Config{Trees: 20, StationaryPoints: 10, AugmentPerField: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFramework(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CompressorName() != "fake" {
+		t.Errorf("compressor name %q", got.CompressorName())
+	}
+	lo1, hi1 := fw.TrainedRatioRange()
+	lo2, hi2 := got.TrainedRatioRange()
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Errorf("ratio range changed: (%v,%v) vs (%v,%v)", lo1, hi1, lo2, hi2)
+	}
+	test := waveField("test", 12, 2.5)
+	for _, tcr := range []float64{10, 30, 60} {
+		a, err := fw.EstimateConfig(test, tcr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.EstimateConfig(test, tcr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Knob != b.Knob {
+			t.Errorf("tcr %v: knob %v vs %v after reload", tcr, a.Knob, b.Knob)
+		}
+	}
+	if got.Stats().Samples != fw.Stats().Samples {
+		t.Errorf("stats lost: %d vs %d", got.Stats().Samples, fw.Stats().Samples)
+	}
+}
+
+func TestSaveRejectsNonForest(t *testing.T) {
+	fc := &fakeCompressor{scale: 100}
+	fw, err := Train(fc, []*grid.Field{waveField("a", 12, 3)},
+		Config{Model: ModelAdaBoost, StationaryPoints: 8, AugmentPerField: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("AdaBoost framework saved without error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadFramework(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := LoadFramework(strings.NewReader("not a model at all, definitely")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadFramework(strings.NewReader("FXRZMODEL1 but then junk")); err == nil {
+		t.Error("corrupt body accepted")
+	}
+}

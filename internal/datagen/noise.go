@@ -1,0 +1,87 @@
+// Package datagen synthesises the scientific datasets the paper evaluates
+// on. The real datasets (SDRBench Nyx, QMCPack, RTM, Hurricane Isabel) are
+// multi-gigabyte downloads; these generators reproduce the *feature
+// signatures* the paper reports for them — value range, mean, neighbor/
+// Lorenzo/spline differences, constant-region fraction — at configurable
+// laptop-scale sizes, with deterministic seeding so experiments are
+// reproducible. Time steps evolve coherently (capability level 1) and
+// configurations change the underlying physics parameters and grid sizes
+// (capability level 2).
+package datagen
+
+import "math"
+
+// splitmix64 advances and mixes a 64-bit state; it is the hash primitive
+// behind the lattice noise.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// latticeHash returns a deterministic value in [-1, 1] for an integer
+// lattice point of up to four coordinates plus a stream seed.
+func latticeHash(seed uint64, c0, c1, c2, c3 int64) float64 {
+	h := splitmix64(seed)
+	h = splitmix64(h ^ uint64(c0))
+	h = splitmix64(h ^ uint64(c1))
+	h = splitmix64(h ^ uint64(c2))
+	h = splitmix64(h ^ uint64(c3))
+	return float64(int64(h>>11))/float64(1<<52) - 1
+}
+
+// smooth is the quintic smoothstep used to interpolate lattice noise without
+// visible grid artifacts.
+func smooth(t float64) float64 { return t * t * t * (t*(t*6-15) + 10) }
+
+// Noise3 samples continuous value noise at (x, y, z) for one stream.
+func Noise3(seed uint64, x, y, z float64) float64 {
+	x0, y0, z0 := math.Floor(x), math.Floor(y), math.Floor(z)
+	tx, ty, tz := smooth(x-x0), smooth(y-y0), smooth(z-z0)
+	ix, iy, iz := int64(x0), int64(y0), int64(z0)
+	var c [2][2][2]float64
+	for dz := int64(0); dz < 2; dz++ {
+		for dy := int64(0); dy < 2; dy++ {
+			for dx := int64(0); dx < 2; dx++ {
+				c[dz][dy][dx] = latticeHash(seed, ix+dx, iy+dy, iz+dz, 0)
+			}
+		}
+	}
+	lerp := func(a, b, t float64) float64 { return a + (b-a)*t }
+	return lerp(
+		lerp(lerp(c[0][0][0], c[0][0][1], tx), lerp(c[0][1][0], c[0][1][1], tx), ty),
+		lerp(lerp(c[1][0][0], c[1][0][1], tx), lerp(c[1][1][0], c[1][1][1], tx), ty),
+		tz)
+}
+
+// OctavesFor picks the number of fBm octaves so the finest octave's
+// wavelength stays at or above ~4 grid cells for a field of the given edge
+// size and base frequency (in cycles per box). Finer octaves would alias
+// into per-cell noise, which real simulation outputs — produced by PDE
+// solvers with their own resolution limits — do not contain.
+func OctavesFor(size int, freq float64) int {
+	o := 1
+	wavelength := float64(size) / freq
+	for wavelength/2 >= 8 && o < 8 {
+		wavelength /= 2
+		o++
+	}
+	return o
+}
+
+// FBM3 sums octaves of Noise3 into fractional Brownian motion: a multi-scale
+// field whose roughness is controlled by gain (persistence) and whose base
+// feature size is 1/freq grid cells. Values are approximately in [-1, 1].
+func FBM3(seed uint64, x, y, z, freq float64, octaves int, gain float64) float64 {
+	var sum, norm float64
+	amp := 1.0
+	f := freq
+	for o := 0; o < octaves; o++ {
+		sum += amp * Noise3(seed+uint64(o)*0x9E37, x*f, y*f, z*f)
+		norm += amp
+		amp *= gain
+		f *= 2
+	}
+	return sum / norm
+}

@@ -1,0 +1,161 @@
+// Package entropy implements the lossless coding substrate shared by the
+// lossy compressors in this repository: an LSB-first bit stream, a canonical
+// Huffman coder (SZ's entropy stage), an adaptive binary range coder (FPZIP's
+// residual coder), and a byte-oriented LZ dictionary coder standing in for
+// the Zstd stage SZ applies after Huffman coding.
+package entropy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports a read past the end of an encoded stream.
+var ErrTruncated = errors.New("entropy: truncated stream")
+
+// BitWriter writes bits LSB-first into 64-bit words, matching the layout ZFP
+// uses. The zero value is ready to use.
+type BitWriter struct {
+	buf    []byte
+	acc    uint64
+	nbits  uint
+	padded bool
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *BitWriter) WriteBit(b uint) {
+	w.acc |= uint64(b&1) << w.nbits
+	w.nbits++
+	if w.nbits == 64 {
+		w.flushWord()
+	}
+}
+
+// WriteBits appends the low n bits of v, least-significant first. n must be
+// in [0, 64].
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	w.acc |= v << w.nbits
+	written := 64 - w.nbits
+	if n < written {
+		written = n
+	}
+	w.nbits += written
+	if w.nbits == 64 {
+		w.flushWord()
+		if rem := n - written; rem > 0 {
+			w.acc = v >> written
+			w.nbits = rem
+		}
+	}
+}
+
+func (w *BitWriter) flushWord() {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(w.acc >> (8 * i))
+	}
+	w.buf = append(w.buf, b[:]...)
+	w.acc = 0
+	w.nbits = 0
+}
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nbits) }
+
+// Bytes flushes any partial word and returns the encoded stream. The writer
+// must not be used after Bytes is called.
+func (w *BitWriter) Bytes() []byte {
+	if w.nbits > 0 {
+		n := (w.nbits + 7) / 8
+		for i := uint(0); i < n; i++ {
+			w.buf = append(w.buf, byte(w.acc>>(8*i)))
+		}
+		w.acc = 0
+		w.nbits = 0
+	}
+	w.padded = true
+	return w.buf
+}
+
+// BitReader reads bits LSB-first from a byte slice produced by BitWriter.
+type BitReader struct {
+	buf   []byte
+	pos   int // byte position
+	acc   uint64
+	nbits uint
+}
+
+// NewBitReader wraps an encoded stream for reading.
+func NewBitReader(b []byte) *BitReader { return &BitReader{buf: b} }
+
+func (r *BitReader) fill() {
+	for r.nbits <= 56 && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << r.nbits
+		r.pos++
+		r.nbits += 8
+	}
+}
+
+// ReadBit reads one bit. Reading past the end returns ErrTruncated.
+func (r *BitReader) ReadBit() (uint, error) {
+	if r.nbits == 0 {
+		r.fill()
+		if r.nbits == 0 {
+			return 0, ErrTruncated
+		}
+	}
+	b := uint(r.acc & 1)
+	r.acc >>= 1
+	r.nbits--
+	return b, nil
+}
+
+// ReadBits reads n bits (n in [0, 64]) least-significant first.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	var v uint64
+	var got uint
+	for got < n {
+		if r.nbits == 0 {
+			r.fill()
+			if r.nbits == 0 {
+				// Return the bits read so far; callers that tolerate zero
+				// padding (TryReadBits) keep the partial value.
+				return v, fmt.Errorf("%w: wanted %d more bits", ErrTruncated, n-got)
+			}
+		}
+		take := n - got
+		if take > r.nbits {
+			take = r.nbits
+		}
+		v |= (r.acc & ((1 << take) - 1)) << got
+		r.acc >>= take
+		r.nbits -= take
+		got += take
+	}
+	return v, nil
+}
+
+// TryReadBit reads one bit, returning 0 (without error) at end of stream.
+// ZFP's decoder relies on zero padding past the encoded tail.
+func (r *BitReader) TryReadBit() uint {
+	b, err := r.ReadBit()
+	if err != nil {
+		return 0
+	}
+	return b
+}
+
+// TryReadBits is ReadBits with zero padding past the end of the stream.
+func (r *BitReader) TryReadBits(n uint) uint64 {
+	v, _ := r.ReadBits(n)
+	return v
+}

@@ -1,0 +1,335 @@
+package entropy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitStreamRoundTrip(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBit(1)
+	w.WriteBit(0)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBits(0xFFFFFFFFFFFFFFFF, 64)
+	w.WriteBits(5, 3)
+	blob := w.Bytes()
+
+	r := NewBitReader(blob)
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit 0")
+	}
+	if b, _ := r.ReadBit(); b != 0 {
+		t.Fatal("bit 1")
+	}
+	if v, _ := r.ReadBits(16); v != 0xABCD {
+		t.Fatalf("16-bit = %x", v)
+	}
+	if v, _ := r.ReadBits(64); v != 0xFFFFFFFFFFFFFFFF {
+		t.Fatalf("64-bit = %x", v)
+	}
+	if v, _ := r.ReadBits(3); v != 5 {
+		t.Fatalf("3-bit = %x", v)
+	}
+}
+
+func TestBitStreamQuick(t *testing.T) {
+	check := func(vals []uint64, widths []uint8) bool {
+		w := &BitWriter{}
+		type rec struct {
+			v uint64
+			n uint
+		}
+		var recs []rec
+		for i, v := range vals {
+			n := uint(1)
+			if i < len(widths) {
+				n = uint(widths[i])%64 + 1
+			}
+			mask := uint64(1)<<n - 1
+			if n == 64 {
+				mask = ^uint64(0)
+			}
+			recs = append(recs, rec{v & mask, n})
+			w.WriteBits(v, n)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, rc := range recs {
+			got, err := r.ReadBits(rc.n)
+			if err != nil || got != rc.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitReaderTruncation(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBits(0x3, 2)
+	r := NewBitReader(w.Bytes())
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal("padding within final byte should be readable")
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if b := r.TryReadBit(); b != 0 {
+		t.Fatal("TryReadBit should zero-pad")
+	}
+	if v := r.TryReadBits(13); v != 0 {
+		t.Fatal("TryReadBits should zero-pad")
+	}
+}
+
+func TestHuffmanRoundTripPatterns(t *testing.T) {
+	cases := []struct {
+		name     string
+		symbols  []uint32
+		alphabet int
+	}{
+		{"empty", nil, 4},
+		{"single-symbol", []uint32{7, 7, 7, 7, 7}, 16},
+		{"two-symbols", []uint32{0, 1, 0, 0, 1, 0}, 2},
+		{"all-distinct", []uint32{0, 1, 2, 3, 4, 5, 6, 7}, 8},
+		{"skewed", func() []uint32 {
+			s := make([]uint32, 1000)
+			for i := range s {
+				if i%100 == 0 {
+					s[i] = uint32(i % 7)
+				}
+			}
+			return s
+		}(), 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			blob, err := HuffmanEncode(tc.symbols, tc.alphabet)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := HuffmanDecode(blob)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(got) != len(tc.symbols) {
+				t.Fatalf("len = %d, want %d", len(got), len(tc.symbols))
+			}
+			for i := range got {
+				if got[i] != tc.symbols[i] {
+					t.Fatalf("symbol %d = %d, want %d", i, got[i], tc.symbols[i])
+				}
+			}
+		})
+	}
+}
+
+func TestHuffmanRejectsOutOfAlphabet(t *testing.T) {
+	if _, err := HuffmanEncode([]uint32{9}, 4); err == nil {
+		t.Fatal("expected out-of-alphabet error")
+	}
+	if _, err := HuffmanEncode(nil, 0); err == nil {
+		t.Fatal("expected invalid alphabet error")
+	}
+}
+
+func TestHuffmanCompressesSkewedData(t *testing.T) {
+	// 64k symbols, 99% are symbol 0: should approach the entropy bound and
+	// come out far below the 2-byte/symbol raw size.
+	syms := make([]uint32, 1<<16)
+	rng := rand.New(rand.NewSource(42))
+	for i := range syms {
+		if rng.Float64() < 0.01 {
+			syms[i] = uint32(rng.Intn(255) + 1)
+		}
+	}
+	blob, err := HuffmanEncode(syms, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > len(syms)/4 {
+		t.Errorf("skewed stream compressed to %d bytes, want < %d", len(blob), len(syms)/4)
+	}
+}
+
+func TestHuffmanQuick(t *testing.T) {
+	check := func(raw []byte) bool {
+		syms := make([]uint32, len(raw))
+		for i, b := range raw {
+			syms[i] = uint32(b)
+		}
+		blob, err := HuffmanEncode(syms, 256)
+		if err != nil {
+			return false
+		}
+		got, err := HuffmanDecode(blob)
+		if err != nil || len(got) != len(syms) {
+			return false
+		}
+		for i := range got {
+			if got[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeCoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nCtx := 8
+	encModels := NewBitModels(nCtx)
+	enc := NewRangeEncoder()
+	type ev struct {
+		ctx int
+		bit uint
+	}
+	var evs []ev
+	for i := 0; i < 50000; i++ {
+		ctx := rng.Intn(nCtx)
+		// Context-dependent bias so adaptation matters.
+		var bit uint
+		if rng.Float64() < 0.1*float64(ctx+1) {
+			bit = 1
+		}
+		evs = append(evs, ev{ctx, bit})
+		enc.EncodeBit(&encModels[ctx], bit)
+	}
+	enc.EncodeDirect(0xDEADBEEF, 32)
+	blob := enc.Finish()
+
+	decModels := NewBitModels(nCtx)
+	dec := NewRangeDecoder(blob)
+	for i, e := range evs {
+		if got := dec.DecodeBit(&decModels[e.ctx]); got != e.bit {
+			t.Fatalf("bit %d: got %d, want %d", i, got, e.bit)
+		}
+	}
+	if v := dec.DecodeDirect(32); v != 0xDEADBEEF {
+		t.Fatalf("direct = %x", v)
+	}
+}
+
+func TestRangeCoderCompressesBiasedBits(t *testing.T) {
+	enc := NewRangeEncoder()
+	m := NewBitModels(1)
+	rng := rand.New(rand.NewSource(3))
+	n := 100000
+	for i := 0; i < n; i++ {
+		var b uint
+		if rng.Float64() < 0.02 {
+			b = 1
+		}
+		enc.EncodeBit(&m[0], b)
+	}
+	blob := enc.Finish()
+	// Entropy of p=0.02 is ~0.14 bits; allow generous slack for adaptation.
+	if len(blob)*8 > n/3 {
+		t.Errorf("biased stream: %d bits for %d input bits", len(blob)*8, n)
+	}
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"tiny", []byte{1, 2, 3}},
+		{"run", bytes.Repeat([]byte{0}, 100000)},
+		{"repeat-motif", bytes.Repeat([]byte{1, 2, 3, 4, 5}, 9999)},
+		{"alternating", bytes.Repeat([]byte{0, 255}, 5000)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			blob := LZCompress(tc.data)
+			got, err := LZDecompress(blob)
+			if err != nil {
+				t.Fatalf("decompress: %v", err)
+			}
+			if !bytes.Equal(got, tc.data) {
+				t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(tc.data))
+			}
+		})
+	}
+}
+
+func TestLZCompressesRuns(t *testing.T) {
+	data := bytes.Repeat([]byte{0}, 1<<20)
+	blob := LZCompress(data)
+	if len(blob) > 200 {
+		t.Errorf("1 MiB zero run compressed to %d bytes", len(blob))
+	}
+}
+
+func TestLZRandomDataSurvives(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 10000)
+	rng.Read(data)
+	blob := LZCompress(data)
+	got, err := LZDecompress(blob)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("random data round trip failed: %v", err)
+	}
+	if len(blob) > len(data)+len(data)/10+64 {
+		t.Errorf("random data expanded too much: %d -> %d", len(data), len(blob))
+	}
+}
+
+func TestLZQuick(t *testing.T) {
+	check := func(data []byte, runs []uint16) bool {
+		// Mix random data with injected runs to exercise match paths.
+		buf := append([]byte(nil), data...)
+		for _, r := range runs {
+			buf = append(buf, bytes.Repeat([]byte{byte(r)}, int(r%97))...)
+		}
+		got, err := LZDecompress(LZCompress(buf))
+		return err == nil && bytes.Equal(got, buf)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLZDecompressRejectsCorrupt(t *testing.T) {
+	blob := LZCompress(bytes.Repeat([]byte{7}, 1000))
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0xFF
+		out, err := LZDecompress(mut)
+		// Either an error or a differing payload is acceptable; a crash is not.
+		_ = out
+		_ = err
+	}
+	if _, err := LZDecompress(nil); err == nil {
+		t.Fatal("nil blob should error")
+	}
+	if _, err := LZDecompress([]byte{200}); err == nil {
+		t.Fatal("truncated varint should error")
+	}
+}
+
+func TestCompressBytesPipeline(t *testing.T) {
+	data := bytes.Repeat([]byte{9, 9, 9, 9, 1, 2}, 10000)
+	blob, err := CompressBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pipeline round trip mismatch")
+	}
+	if len(blob) > len(data)/50 {
+		t.Errorf("repetitive data: %d -> %d bytes", len(data), len(blob))
+	}
+}

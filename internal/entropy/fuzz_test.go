@@ -1,0 +1,27 @@
+package entropy
+
+import "testing"
+
+// FuzzLZDecompress ensures the dictionary decoder never panics or
+// over-allocates on arbitrary input.
+func FuzzLZDecompress(f *testing.F) {
+	f.Add(LZCompress([]byte("hello hello hello")))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := LZDecompress(data)
+		if err == nil && len(out) > 1<<28 {
+			t.Fatalf("implausible expansion to %d bytes accepted", len(out))
+		}
+	})
+}
+
+// FuzzHuffmanDecode ensures the canonical Huffman decoder is panic-free.
+func FuzzHuffmanDecode(f *testing.F) {
+	blob, _ := HuffmanEncode([]uint32{1, 2, 3, 1, 1, 2}, 8)
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = HuffmanDecode(data)
+	})
+}

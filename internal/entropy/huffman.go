@@ -1,0 +1,346 @@
+package entropy
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// maxHuffmanLen caps code lengths so the decoder can use fixed-width tables.
+// Lengths are limited with a simple push-down rebalance (sufficient for the
+// ≤ 2^16-symbol alphabets the SZ quantizer produces).
+const maxHuffmanLen = 32
+
+// HuffmanEncode entropy-codes a sequence of symbols drawn from the alphabet
+// [0, alphabet). The output embeds a canonical code-length table followed by
+// the bit stream, so HuffmanDecode needs no side information beyond the blob.
+func HuffmanEncode(symbols []uint32, alphabet int) ([]byte, error) {
+	if alphabet <= 0 {
+		return nil, fmt.Errorf("entropy: invalid alphabet size %d", alphabet)
+	}
+	freq := make([]int, alphabet)
+	for _, s := range symbols {
+		if int(s) >= alphabet {
+			return nil, fmt.Errorf("entropy: symbol %d outside alphabet %d", s, alphabet)
+		}
+		freq[s]++
+	}
+	lengths := huffmanLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(alphabet))
+	out = binary.AppendUvarint(out, uint64(len(symbols)))
+	// Length table: run-length encode zeros since most alphabets are sparse.
+	out = appendLengthTable(out, lengths)
+
+	w := &BitWriter{}
+	for _, s := range symbols {
+		c := codes[s]
+		w.WriteBits(uint64(c.code), uint(c.len))
+	}
+	payload := w.Bytes()
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = append(out, payload...)
+	return out, nil
+}
+
+// HuffmanDecode reverses HuffmanEncode.
+func HuffmanDecode(blob []byte) ([]uint32, error) {
+	alphabet, n, lengths, payload, err := parseHuffmanHeader(blob)
+	if err != nil {
+		return nil, err
+	}
+	if alphabet == 0 {
+		return nil, fmt.Errorf("entropy: zero alphabet")
+	}
+	if alphabet > 1 && n > 8*len(payload) {
+		return nil, fmt.Errorf("entropy: %d symbols cannot fit in %d payload bytes", n, len(payload))
+	}
+	dec, err := newCanonicalDecoder(lengths)
+	if err != nil {
+		return nil, err
+	}
+	r := NewBitReader(payload)
+	capHint := n
+	if capHint > 1<<20 {
+		capHint = 1 << 20 // a corrupt count must not drive the allocation
+	}
+	out := make([]uint32, 0, capHint)
+	for i := 0; i < n; i++ {
+		s, err := dec.decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("entropy: symbol %d/%d: %w", i, n, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseHuffmanHeader(blob []byte) (alphabet, n int, lengths []uint8, payload []byte, err error) {
+	a, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return 0, 0, nil, nil, ErrTruncated
+	}
+	blob = blob[k:]
+	cnt, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return 0, 0, nil, nil, ErrTruncated
+	}
+	blob = blob[k:]
+	if a > 1<<24 || cnt > 1<<34 {
+		return 0, 0, nil, nil, fmt.Errorf("entropy: implausible header (alphabet %d, count %d)", a, cnt)
+	}
+	lengths, blob, err = readLengthTable(blob, int(a))
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	plen, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return 0, 0, nil, nil, ErrTruncated
+	}
+	blob = blob[k:]
+	if uint64(len(blob)) < plen {
+		return 0, 0, nil, nil, ErrTruncated
+	}
+	return int(a), int(cnt), lengths, blob[:plen], nil
+}
+
+// huffmanLengths computes code lengths from frequencies via the classic
+// two-queue/heap construction, then limits lengths to maxHuffmanLen.
+func huffmanLengths(freq []int) []uint8 {
+	type node struct {
+		w           int
+		sym         int // >= 0 for leaves
+		left, right int // indices into pool for internal nodes
+	}
+	pool := make([]node, 0, 2*len(freq))
+	h := &intHeap{}
+	for s, f := range freq {
+		if f > 0 {
+			pool = append(pool, node{w: f, sym: s, left: -1, right: -1})
+			heap.Push(h, heapItem{w: f, idx: len(pool) - 1})
+		}
+	}
+	lengths := make([]uint8, len(freq))
+	switch h.Len() {
+	case 0:
+		return lengths
+	case 1:
+		// A single distinct symbol still needs a 1-bit code.
+		lengths[pool[0].sym] = 1
+		return lengths
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(heapItem)
+		b := heap.Pop(h).(heapItem)
+		pool = append(pool, node{w: a.w + b.w, sym: -1, left: a.idx, right: b.idx})
+		heap.Push(h, heapItem{w: a.w + b.w, idx: len(pool) - 1})
+	}
+	root := heap.Pop(h).(heapItem).idx
+	// Iterative depth-first traversal to assign depths.
+	type frame struct{ idx, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := pool[f.idx]
+		if nd.sym >= 0 {
+			d := f.depth
+			if d == 0 {
+				d = 1
+			}
+			if d > maxHuffmanLen {
+				d = maxHuffmanLen
+			}
+			lengths[nd.sym] = uint8(d)
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+	fixKraft(lengths)
+	return lengths
+}
+
+// fixKraft repairs any Kraft-inequality violation introduced by clamping
+// lengths, by lengthening the shortest over-short codes.
+func fixKraft(lengths []uint8) {
+	for {
+		var sum uint64
+		for _, l := range lengths {
+			if l > 0 {
+				sum += 1 << (maxHuffmanLen - l)
+			}
+		}
+		if sum <= 1<<maxHuffmanLen {
+			return
+		}
+		// Find the longest code shorter than the cap and lengthen it.
+		best := -1
+		for s, l := range lengths {
+			if l > 0 && l < maxHuffmanLen && (best < 0 || l > lengths[best]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return // cannot repair; should be impossible for sane alphabets
+		}
+		lengths[best]++
+	}
+}
+
+type heapItem struct{ w, idx int }
+
+type intHeap []heapItem
+
+func (h intHeap) Len() int { return len(h) }
+func (h intHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w < h[j].w
+	}
+	return h[i].idx < h[j].idx
+}
+func (h intHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *intHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type huffCode struct {
+	code uint32
+	len  uint8
+}
+
+// canonicalCodes assigns canonical codes (shorter codes first, then by
+// symbol), stored bit-reversed so they can be emitted LSB-first.
+func canonicalCodes(lengths []uint8) []huffCode {
+	type symLen struct {
+		sym int
+		l   uint8
+	}
+	var syms []symLen
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, symLen{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	codes := make([]huffCode, len(lengths))
+	var code uint32
+	var prevLen uint8
+	for _, sl := range syms {
+		code <<= (sl.l - prevLen)
+		prevLen = sl.l
+		codes[sl.sym] = huffCode{code: bits.Reverse32(code) >> (32 - sl.l), len: sl.l}
+		code++
+	}
+	return codes
+}
+
+// canonicalDecoder walks codes bit by bit using first-code/offset tables.
+type canonicalDecoder struct {
+	// firstCode[l] is the canonical value of the first code of length l,
+	// and symAt maps (l, code-firstCode[l]) to the symbol.
+	count   [maxHuffmanLen + 1]int
+	first   [maxHuffmanLen + 1]uint32
+	offset  [maxHuffmanLen + 1]int
+	symbols []uint32
+}
+
+func newCanonicalDecoder(lengths []uint8) (*canonicalDecoder, error) {
+	d := &canonicalDecoder{}
+	for _, l := range lengths {
+		if l > maxHuffmanLen {
+			return nil, fmt.Errorf("entropy: code length %d exceeds cap", l)
+		}
+		if l > 0 {
+			d.count[l]++
+		}
+	}
+	var code uint32
+	idx := 0
+	for l := 1; l <= maxHuffmanLen; l++ {
+		code <<= 1
+		d.first[l] = code
+		d.offset[l] = idx
+		code += uint32(d.count[l])
+		idx += d.count[l]
+	}
+	d.symbols = make([]uint32, idx)
+	next := make([]int, maxHuffmanLen+1)
+	for s, l := range lengths {
+		if l > 0 {
+			d.symbols[d.offset[l]+next[l]] = uint32(s)
+			next[l]++
+		}
+	}
+	return d, nil
+}
+
+func (d *canonicalDecoder) decode(r *BitReader) (uint32, error) {
+	var code uint32
+	for l := 1; l <= maxHuffmanLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(b)
+		if d.count[l] > 0 && code-d.first[l] < uint32(d.count[l]) {
+			return d.symbols[d.offset[l]+int(code-d.first[l])], nil
+		}
+	}
+	return 0, fmt.Errorf("entropy: invalid Huffman code")
+}
+
+// appendLengthTable serialises the code-length table with zero-run
+// compression: (0, runLen) pairs for gaps, raw lengths otherwise.
+func appendLengthTable(out []byte, lengths []uint8) []byte {
+	i := 0
+	for i < len(lengths) {
+		if lengths[i] == 0 {
+			j := i
+			for j < len(lengths) && lengths[j] == 0 {
+				j++
+			}
+			out = append(out, 0)
+			out = binary.AppendUvarint(out, uint64(j-i))
+			i = j
+			continue
+		}
+		out = append(out, lengths[i])
+		i++
+	}
+	return out
+}
+
+func readLengthTable(blob []byte, alphabet int) ([]uint8, []byte, error) {
+	lengths := make([]uint8, alphabet)
+	i := 0
+	for i < alphabet {
+		if len(blob) == 0 {
+			return nil, nil, ErrTruncated
+		}
+		l := blob[0]
+		blob = blob[1:]
+		if l == 0 {
+			run, k := binary.Uvarint(blob)
+			if k <= 0 {
+				return nil, nil, ErrTruncated
+			}
+			blob = blob[k:]
+			if run == 0 || uint64(i)+run > uint64(alphabet) {
+				return nil, nil, fmt.Errorf("entropy: bad zero run %d at symbol %d", run, i)
+			}
+			i += int(run)
+			continue
+		}
+		lengths[i] = l
+		i++
+	}
+	return lengths, blob, nil
+}

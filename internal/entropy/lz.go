@@ -1,0 +1,200 @@
+package entropy
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// A byte-oriented LZ77 dictionary coder with greedy hash-chain matching. It
+// stands in for the Zstd stage SZ runs after Huffman coding: on the highly
+// repetitive byte streams produced by quantization codes of smooth scientific
+// data it collapses long runs and repeated motifs, which is what lets SZ-like
+// compressors exceed the ~32× ceiling pure symbol entropy coding imposes on
+// float32 data.
+//
+// Token format (all varint-coded):
+//
+//	litLen  — number of literal bytes to copy
+//	<literals>
+//	matchLen — 0 terminates the stream, otherwise length ≥ lzMinMatch
+//	distance — backwards offset ≥ 1
+const (
+	lzMinMatch   = 4
+	lzMaxMatch   = 1 << 16
+	lzWindowSize = 1 << 20
+	lzHashBits   = 17
+	lzMaxChain   = 32
+)
+
+func lzHash(b []byte) uint32 {
+	// Multiplicative hash of 4 bytes (Fibonacci hashing).
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// LZCompress compresses src. The output always starts with the uncompressed
+// length so the decoder can allocate exactly once.
+func LZCompress(src []byte) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(src)))
+	head := make([]int32, 1<<lzHashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+
+	litStart := 0
+	i := 0
+	emit := func(litEnd, matchLen, dist int) {
+		out = binary.AppendUvarint(out, uint64(litEnd-litStart))
+		out = append(out, src[litStart:litEnd]...)
+		out = binary.AppendUvarint(out, uint64(matchLen))
+		if matchLen > 0 {
+			out = binary.AppendUvarint(out, uint64(dist))
+		}
+	}
+	for i+lzMinMatch <= len(src) {
+		h := lzHash(src[i:])
+		bestLen, bestDist := 0, 0
+		cand := head[h]
+		for chain := 0; cand >= 0 && chain < lzMaxChain; chain++ {
+			d := i - int(cand)
+			if d > lzWindowSize {
+				break
+			}
+			l := matchLength(src, int(cand), i)
+			if l > bestLen {
+				bestLen, bestDist = l, d
+				if l >= lzMaxMatch {
+					break
+				}
+			}
+			cand = prev[cand]
+		}
+		if bestLen >= lzMinMatch {
+			emit(i, bestLen, bestDist)
+			// Insert hash entries across the match so future matches can
+			// refer into it, then continue after it.
+			end := i + bestLen
+			for ; i < end && i+lzMinMatch <= len(src); i++ {
+				hh := lzHash(src[i:])
+				prev[i] = head[hh]
+				head[hh] = int32(i)
+			}
+			i = end
+			litStart = i
+			continue
+		}
+		prev[i] = head[h]
+		head[h] = int32(i)
+		i++
+	}
+	// Trailing literals and terminator.
+	emit(len(src), 0, 0)
+	return out
+}
+
+func matchLength(src []byte, a, b int) int {
+	n := 0
+	max := len(src) - b
+	if max > lzMaxMatch {
+		max = lzMaxMatch
+	}
+	for n < max && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// LZDecompress reverses LZCompress.
+func LZDecompress(blob []byte) ([]byte, error) {
+	size, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return nil, ErrTruncated
+	}
+	blob = blob[k:]
+	if size > 1<<36 {
+		return nil, fmt.Errorf("entropy: implausible uncompressed size %d", size)
+	}
+	// A valid stream cannot expand a byte into more than lzMaxMatch output
+	// bytes; reject early so corrupt headers cannot demand huge buffers.
+	if size > uint64(len(blob))*lzMaxMatch+64 {
+		return nil, fmt.Errorf("entropy: claimed size %d impossible for %d input bytes", size, len(blob))
+	}
+	capHint := size
+	if capHint > 1<<20 {
+		capHint = 1 << 20 // grow on demand; do not trust the header blindly
+	}
+	out := make([]byte, 0, capHint)
+	for {
+		litLen, k := binary.Uvarint(blob)
+		if k <= 0 {
+			return nil, ErrTruncated
+		}
+		blob = blob[k:]
+		if uint64(len(blob)) < litLen {
+			return nil, ErrTruncated
+		}
+		if uint64(len(out))+litLen > size {
+			return nil, fmt.Errorf("entropy: literals overflow declared size %d", size)
+		}
+		out = append(out, blob[:litLen]...)
+		blob = blob[litLen:]
+		matchLen, k := binary.Uvarint(blob)
+		if k <= 0 {
+			return nil, ErrTruncated
+		}
+		blob = blob[k:]
+		if matchLen == 0 {
+			break
+		}
+		// The encoder never emits matches longer than lzMaxMatch, and the
+		// output may never exceed the declared size — both checks keep a
+		// corrupt varint from driving an unbounded copy loop.
+		if matchLen > lzMaxMatch || uint64(len(out))+matchLen > size {
+			return nil, fmt.Errorf("entropy: invalid match length %d at output offset %d", matchLen, len(out))
+		}
+		dist, k := binary.Uvarint(blob)
+		if k <= 0 {
+			return nil, ErrTruncated
+		}
+		blob = blob[k:]
+		if dist == 0 || dist > uint64(len(out)) {
+			return nil, fmt.Errorf("entropy: invalid match distance %d at output offset %d", dist, len(out))
+		}
+		// Byte-by-byte copy: overlapping matches (dist < matchLen) replicate
+		// the run, which is the core RLE-like behaviour.
+		start := len(out) - int(dist)
+		for j := 0; j < int(matchLen); j++ {
+			out = append(out, out[start+j])
+		}
+	}
+	if uint64(len(out)) != size {
+		return nil, fmt.Errorf("entropy: decoded %d bytes, header said %d", len(out), size)
+	}
+	return out, nil
+}
+
+// CompressBytes runs the full lossless pipeline used by the SZ-like and
+// MGARD-like compressors: LZ dictionary coding followed by Huffman coding of
+// the LZ output bytes. On incompressible input the overhead is a few bytes.
+func CompressBytes(src []byte) ([]byte, error) {
+	lz := LZCompress(src)
+	syms := make([]uint32, len(lz))
+	for i, b := range lz {
+		syms[i] = uint32(b)
+	}
+	return HuffmanEncode(syms, 256)
+}
+
+// DecompressBytes reverses CompressBytes.
+func DecompressBytes(blob []byte) ([]byte, error) {
+	syms, err := HuffmanDecode(blob)
+	if err != nil {
+		return nil, err
+	}
+	lz := make([]byte, len(syms))
+	for i, s := range syms {
+		lz[i] = byte(s)
+	}
+	return LZDecompress(lz)
+}

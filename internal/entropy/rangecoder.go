@@ -1,0 +1,173 @@
+package entropy
+
+// Adaptive binary range coder in the carry-less style used by LZMA and by
+// FPZIP's residual coder. Each context holds a 12-bit probability that the
+// next bit is zero, updated with a shift-based exponential moving average.
+
+const (
+	rcTopBits    = 24
+	rcTop        = 1 << rcTopBits
+	rcModelBits  = 12
+	rcModelTotal = 1 << rcModelBits
+	rcMoveBits   = 5
+)
+
+// BitModel is one adaptive binary context. The zero value is invalid; use
+// NewBitModels or initBitModel.
+type BitModel struct{ p0 uint16 }
+
+func initBitModel() BitModel { return BitModel{p0: rcModelTotal / 2} }
+
+// NewBitModels allocates n contexts initialised to probability one half.
+func NewBitModels(n int) []BitModel {
+	ms := make([]BitModel, n)
+	for i := range ms {
+		ms[i] = initBitModel()
+	}
+	return ms
+}
+
+// RangeEncoder encodes bits against adaptive contexts. The carry-handling
+// follows the LZMA SDK: the first emitted byte is a zero placeholder that
+// the decoder discards when priming its code register.
+type RangeEncoder struct {
+	low      uint64
+	rng      uint32
+	cache    byte
+	cacheSz  int64
+	out      []byte
+	finished bool
+}
+
+// NewRangeEncoder returns a ready encoder.
+func NewRangeEncoder() *RangeEncoder {
+	return &RangeEncoder{rng: 0xFFFFFFFF, cacheSz: 1}
+}
+
+func (e *RangeEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
+		carry := byte(e.low >> 32)
+		tmp := e.cache
+		for {
+			e.out = append(e.out, tmp+carry)
+			tmp = 0xFF
+			e.cacheSz--
+			if e.cacheSz == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSz++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// EncodeBit encodes bit b under model m, updating the model.
+func (e *RangeEncoder) EncodeBit(m *BitModel, b uint) {
+	bound := (e.rng >> rcModelBits) * uint32(m.p0)
+	if b == 0 {
+		e.rng = bound
+		m.p0 += (rcModelTotal - m.p0) >> rcMoveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		m.p0 -= m.p0 >> rcMoveBits
+	}
+	for e.rng < rcTop {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeDirect encodes n raw (uncompressed, equiprobable) bits, MSB first.
+func (e *RangeEncoder) EncodeDirect(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		e.rng >>= 1
+		b := (v >> uint(i)) & 1
+		if b != 0 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < rcTop {
+			e.rng <<= 8
+			e.shiftLow()
+		}
+	}
+}
+
+// Finish flushes the encoder and returns the byte stream.
+func (e *RangeEncoder) Finish() []byte {
+	if !e.finished {
+		for i := 0; i < 5; i++ {
+			e.shiftLow()
+		}
+		e.finished = true
+	}
+	return e.out
+}
+
+// RangeDecoder mirrors RangeEncoder.
+type RangeDecoder struct {
+	rng  uint32
+	code uint32
+	in   []byte
+	pos  int
+}
+
+// NewRangeDecoder wraps an encoded stream. Five bytes prime the 32-bit code
+// register; the first is the encoder's zero placeholder and shifts out.
+func NewRangeDecoder(b []byte) *RangeDecoder {
+	d := &RangeDecoder{rng: 0xFFFFFFFF, in: b}
+	for i := 0; i < 5; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *RangeDecoder) next() byte {
+	if d.pos < len(d.in) {
+		b := d.in[d.pos]
+		d.pos++
+		return b
+	}
+	return 0
+}
+
+// DecodeBit decodes one bit under model m.
+func (d *RangeDecoder) DecodeBit(m *BitModel) uint {
+	bound := (d.rng >> rcModelBits) * uint32(m.p0)
+	var b uint
+	if d.code < bound {
+		d.rng = bound
+		m.p0 += (rcModelTotal - m.p0) >> rcMoveBits
+		b = 0
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		m.p0 -= m.p0 >> rcMoveBits
+		b = 1
+	}
+	for d.rng < rcTop {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return b
+}
+
+// DecodeDirect decodes n raw bits, MSB first.
+func (d *RangeDecoder) DecodeDirect(n uint) uint64 {
+	var v uint64
+	for i := 0; i < int(n); i++ {
+		d.rng >>= 1
+		var b uint64
+		if d.code >= d.rng {
+			d.code -= d.rng
+			b = 1
+		}
+		v = v<<1 | b
+		for d.rng < rcTop {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.next())
+		}
+	}
+	return v
+}

@@ -1,0 +1,370 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/core"
+)
+
+// The experiment harness is exercised at Tiny scale; the assertions check
+// the paper's *qualitative* conclusions, which must hold at any scale.
+
+func tinySession() *Session { return NewSession(Tiny) }
+
+func TestSessionCatalogShapes(t *testing.T) {
+	s := tinySession()
+	for _, app := range Apps {
+		train, err := s.TrainFields(app)
+		if err != nil {
+			t.Fatalf("%s train: %v", app, err)
+		}
+		test, err := s.TestFields(app)
+		if err != nil {
+			t.Fatalf("%s test: %v", app, err)
+		}
+		if len(train) < 2 {
+			t.Errorf("%s: only %d training fields", app, len(train))
+		}
+		if len(test) < 1 {
+			t.Errorf("%s: no test fields", app)
+		}
+		// Train/test must be disjoint by name.
+		names := map[string]bool{}
+		for _, f := range train {
+			names[f.Name] = true
+		}
+		for _, f := range test {
+			if names[f.Name] {
+				t.Errorf("%s: test field %s also in training set", app, f.Name)
+			}
+		}
+	}
+}
+
+func TestSessionCachesFrameworks(t *testing.T) {
+	s := tinySession()
+	a, err := s.Framework("rtm", "zfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Framework("rtm", "zfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("framework not cached")
+	}
+}
+
+func TestTargetsInsideValidRange(t *testing.T) {
+	s := tinySession()
+	fw, err := s.Framework("rtm", "sz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := s.TestFields("rtm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := fw.ValidRatioRange(tests[0])
+	targets, err := s.Targets(fw, "sz", tests[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tcr := range targets {
+		if tcr < lo || tcr > hi {
+			t.Errorf("target %v outside [%v, %v]", tcr, lo, hi)
+		}
+	}
+}
+
+func TestFig2InterpolationErrors(t *testing.T) {
+	s := tinySession()
+	r, err := Fig2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range CompressorNames {
+		if len(r.Curves[c]) < 3 {
+			t.Errorf("%s: only %d stationary points", c, len(r.Curves[c]))
+		}
+		if e := r.InterpErrors[c]; e < 0 || e > 0.5 {
+			t.Errorf("%s: interpolation error %v implausible (paper: 3–5.5%%)", c, e)
+		}
+	}
+	if !strings.Contains(r.String(), "Fig 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig3Table1Signatures(t *testing.T) {
+	s := tinySession()
+	r, err := Fig3Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RTM fields must show the smallest value ranges (Table I signature).
+	vr := func(i int) float64 { return r.Features[i].ValueRange }
+	rtmMax := vr(2)
+	if vr(3) > rtmMax {
+		rtmMax = vr(3)
+	}
+	for _, i := range []int{0, 1, 4} { // nyx, qmcpack, hurricane
+		if vr(i) <= rtmMax {
+			t.Errorf("dataset %s range %v not larger than RTM's %v", r.Labels[i], vr(i), rtmMax)
+		}
+	}
+	// Every compressor must report a positive ratio everywhere.
+	for _, c := range CompressorNames {
+		for i, ratio := range r.Ratios[c] {
+			if ratio <= 0 {
+				t.Errorf("%s on %s: ratio %v", c, r.Labels[i], ratio)
+			}
+		}
+	}
+	// RTM (smooth wavefields) must compress best under SZ.
+	sz := r.Ratios["sz"]
+	if sz[2] < sz[0] && sz[3] < sz[0] {
+		t.Errorf("RTM SZ ratios (%v, %v) below Nyx (%v); paper has RTM highest", sz[2], sz[3], sz[0])
+	}
+}
+
+func TestTable2GradientsWeakest(t *testing.T) {
+	s := tinySession()
+	r, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, c := range CompressorNames {
+		if r.AdoptedBeatGradients(c) {
+			wins++
+		}
+		for fi, v := range r.Corr[c] {
+			if v < 0 || v > 1 {
+				t.Errorf("%s feature %d: |r| = %v out of [0,1]", c, fi, v)
+			}
+		}
+	}
+	if wins < 3 {
+		t.Errorf("adopted features beat gradients for only %d/4 compressors", wins)
+	}
+}
+
+func TestFig89VariabilityPositive(t *testing.T) {
+	s := tinySession()
+	r, err := Fig89(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, d := range r.Distances {
+		if d <= 0 {
+			t.Errorf("%s: histogram distance %v, want > 0", label, d)
+		}
+	}
+}
+
+func TestFig10DistortionMonotone(t *testing.T) {
+	s := tinySession()
+	r, err := Fig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// PSNR falls and displacement rises with looser bounds.
+	if !(r.Rows[0][2] > r.Rows[1][2] && r.Rows[1][2] > r.Rows[2][2]) {
+		t.Errorf("PSNR not decreasing: %v %v %v", r.Rows[0][2], r.Rows[1][2], r.Rows[2][2])
+	}
+	if r.Rows[2][3] < r.Rows[0][3] {
+		t.Errorf("displacement not increasing: %v vs %v", r.Rows[2][3], r.Rows[0][3])
+	}
+}
+
+func TestFig11RangesSane(t *testing.T) {
+	s := tinySession()
+	r, err := Fig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	out := r.String()
+	if !strings.Contains(out, "Fig 11") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCompareSmoke(t *testing.T) {
+	// A reduced Compare run: one app, SZ+ZFP, one test field. The full grid
+	// runs under expbench / the benchmark suite.
+	s := tinySession()
+	r, err := Compare(s, []string{"rtm"}, []string{"sz", "zfp"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, fr := r.Averages()
+	if fx <= 0 || fx > 1 {
+		t.Errorf("FXRZ avg error %v implausible", fx)
+	}
+	for _, it := range []int{6, 15} {
+		if fr[it] <= 0 {
+			t.Errorf("FRaZ-%d avg error %v", it, fr[it])
+		}
+	}
+	if sp := r.SpeedupOverFRaZ(15); sp <= 1 {
+		t.Errorf("FXRZ speedup over FRaZ %v, want > 1", sp)
+	}
+	for _, render := range []string{r.Fig12String(), r.Fig13String(), r.Table8String(), r.CapabilityString()} {
+		if render == "" {
+			t.Error("empty render")
+		}
+	}
+}
+
+func TestDumpGainsAboveOne(t *testing.T) {
+	s := tinySession()
+	r, err := Dump(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(r.Ranks) {
+		t.Fatalf("rows/ranks mismatch")
+	}
+	for i, row := range r.Rows {
+		if row[2] <= 1 {
+			t.Errorf("ranks=%d: gain %v, want > 1 (paper: 1.18–8.71×)", r.Ranks[i], row[2])
+		}
+	}
+}
+
+func TestFig4And6Render(t *testing.T) {
+	s := tinySession()
+	f4, err := Fig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f4.String(), "Fig 4") || len(f4.Slice) < 100 {
+		t.Error("Fig 4 render too small")
+	}
+	f6, err := Fig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f6.Map, ".") || !strings.Contains(f6.Map, "#") {
+		t.Errorf("Fig 6 block map should contain both constant and non-constant blocks:\n%s", f6.Map)
+	}
+	if f6.R <= 0 || f6.R >= 1 {
+		t.Errorf("slice non-constant fraction %v", f6.R)
+	}
+}
+
+func TestImportanceACRDominant(t *testing.T) {
+	s := tinySession()
+	r, err := Importance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dominant := 0
+	total := 0
+	for _, app := range Apps {
+		for _, comp := range []string{"sz", "zfp"} {
+			total++
+			if r.ACRDominant(app, comp) {
+				dominant++
+			}
+		}
+	}
+	if dominant < total-1 {
+		t.Errorf("ACR dominant in only %d/%d frameworks", dominant, total)
+	}
+}
+
+func TestZFPRateInflationAboveOne(t *testing.T) {
+	s := tinySession()
+	r, err := ZFPRate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if infl := r.MeanInflation(); infl <= 1 {
+		t.Errorf("mean error inflation %v, want > 1 (fixed-rate strictly worse)", infl)
+	}
+}
+
+func TestTable6TimesPositive(t *testing.T) {
+	s := tinySession()
+	r, err := Table6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range Apps {
+		for _, c := range CompressorNames {
+			st := r.Stats[app][c]
+			if st.Total() <= 0 || st.Samples == 0 {
+				t.Errorf("%s/%s: stats %+v", app, c, st)
+			}
+			if st.StationarySweep < st.Augmentation {
+				t.Errorf("%s/%s: sweep (%v) should dominate augmentation (%v)", app, c, st.StationarySweep, st.Augmentation)
+			}
+		}
+	}
+}
+
+func TestConfigDerivedFromScale(t *testing.T) {
+	s := tinySession()
+	cfg := s.Config()
+	if cfg.StationaryPoints != Tiny.Stationary || cfg.Trees != Tiny.Trees {
+		t.Errorf("config %+v does not reflect scale", cfg)
+	}
+	if cfg.Model != core.ModelRFR {
+		t.Errorf("default model %v", cfg.Model)
+	}
+}
+
+func TestTable3ModelsComparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-selection grid is slow")
+	}
+	s := tinySession()
+	r, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's robust conclusion at any scale: SVR is the worst family.
+	for _, app := range Table3Apps {
+		for _, comp := range []string{"sz", "zfp"} {
+			m := r.Err[app][comp]
+			if m[core.ModelSVR] < m[core.ModelRFR] && m[core.ModelSVR] < m[core.ModelAdaBoost] {
+				t.Errorf("%s/%s: SVR (%v) beat both tree ensembles (%v, %v)",
+					app, comp, m[core.ModelSVR], m[core.ModelRFR], m[core.ModelAdaBoost])
+			}
+		}
+	}
+}
+
+func TestSamplingKeepsAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling ablation is slow")
+	}
+	s := tinySession()
+	r, err := Sampling(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SampledFraction > 0.05 {
+		t.Errorf("sampled fraction %v, want ~1.5%%", r.SampledFraction)
+	}
+	if r.FeatTimeSampled >= r.FeatTimeFull {
+		t.Errorf("sampled extraction (%v) not faster than full (%v)", r.FeatTimeSampled, r.FeatTimeFull)
+	}
+	// Sampling may cost some accuracy but must stay in the same regime.
+	if r.ErrSampled > 3*r.ErrFull+0.10 {
+		t.Errorf("sampled error %v far above full %v", r.ErrSampled, r.ErrFull)
+	}
+}

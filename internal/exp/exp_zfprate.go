@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/datagen"
+	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/zfp"
+)
+
+// ZFPRateResult is the ablation behind the related-work claim motivating
+// fixed-ratio frameworks (§II): ZFP's native fixed-rate mode reaches a
+// target ratio *exactly*, but at the same ratio its distortion is far worse
+// than fixed-accuracy mode (prior studies: ~2× lower ratio at equal
+// distortion), because every 4³ block gets the same bit budget regardless of
+// content. A fixed-ratio framework driving fixed-*accuracy* mode therefore
+// dominates the trivial fixed-rate solution.
+type ZFPRateResult struct {
+	// Rows: dataset, tolerance, accuracy-mode ratio, accuracy-mode max
+	// error, rate-mode max error at the same ratio, error inflation.
+	Rows []ZFPRateRow
+}
+
+// ZFPRateRow is one measurement of the ablation.
+type ZFPRateRow struct {
+	Dataset        string
+	Tolerance      float64
+	Ratio          float64
+	AccuracyMaxErr float64
+	RateMaxErr     float64
+	ErrInflation   float64
+}
+
+// ZFPRate runs the ablation on a Nyx field and a Hurricane field (one
+// uniform-complexity and one highly non-uniform dataset).
+func ZFPRate(s *Session) (*ZFPRateResult, error) {
+	nyx, err := datagen.NyxField("baryon_density", 1, 1, s.S.NyxSize)
+	if err != nil {
+		return nil, err
+	}
+	hur, err := datagen.HurricaneField("QCLOUD", 10, s.S.HurricaneSize)
+	if err != nil {
+		return nil, err
+	}
+	acc := zfp.New()
+	rate := zfp.NewFixedRate()
+	res := &ZFPRateResult{}
+	for _, f := range []*grid.Field{nyx, hur} {
+		vr := f.ValueRange()
+		for _, rel := range []float64{1e-4, 1e-3, 1e-2} {
+			tol := rel * vr
+			blobA, err := acc.Compress(f, tol)
+			if err != nil {
+				return nil, err
+			}
+			ratio := compress.Ratio(f, blobA)
+			gA, err := acc.Decompress(blobA)
+			if err != nil {
+				return nil, err
+			}
+			errA, err := compress.MaxAbsError(f, gA)
+			if err != nil {
+				return nil, err
+			}
+			// Fixed-rate at the same overall ratio.
+			r := 32 / ratio
+			blobR, err := rate.Compress(f, r)
+			if err != nil {
+				return nil, err
+			}
+			gR, err := rate.Decompress(blobR)
+			if err != nil {
+				return nil, err
+			}
+			errR, err := compress.MaxAbsError(f, gR)
+			if err != nil {
+				return nil, err
+			}
+			infl := math.Inf(1)
+			if errA > 0 {
+				infl = errR / errA
+			}
+			res.Rows = append(res.Rows, ZFPRateRow{
+				Dataset: f.Name, Tolerance: tol, Ratio: ratio,
+				AccuracyMaxErr: errA, RateMaxErr: errR, ErrInflation: infl,
+			})
+		}
+	}
+	return res, nil
+}
+
+// MeanInflation averages the error-inflation factor across rows.
+func (r *ZFPRateResult) MeanInflation() float64 {
+	var s float64
+	var n int
+	for _, row := range r.Rows {
+		if !math.IsInf(row.ErrInflation, 0) {
+			s += row.ErrInflation
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// String renders the ablation.
+func (r *ZFPRateResult) String() string {
+	t := &Table{Title: "Ablation — ZFP fixed-rate vs fixed-accuracy at matched ratio (§II claim)",
+		Header: []string{"dataset", "tolerance", "ratio", "max err (accuracy)", "max err (fixed-rate)", "inflation"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, f4(row.Tolerance), f2(row.Ratio), f4(row.AccuracyMaxErr), f4(row.RateMaxErr),
+			fmt.Sprintf("%.1f×", row.ErrInflation))
+	}
+	t.AddNote("prior studies: fixed-rate needs ~2× more bits for equal distortion; inflation > 1 everywhere confirms it")
+	return t.String()
+}

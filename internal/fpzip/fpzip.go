@@ -1,0 +1,253 @@
+// Package fpzip implements an FPZIP-style precision-controlled lossy
+// compressor (Lindstrom & Isenburg, 2006). Unlike the error-bound driven
+// codecs, its knob is an integer precision p in [2, 32]: the number of most
+// significant bits of each value's order-preserving integer representation
+// that are retained. Lossy operation truncates the remaining bits, which
+// bounds the *relative* error at roughly 2^(10-p) (sign + 8 exponent bits +
+// p-9 mantissa bits survive for p > 9).
+//
+// Pipeline: order-preserving float→uint mapping, truncation to p bits,
+// N-dimensional Lorenzo prediction in the truncated integer domain, and
+// adaptive range coding of zigzagged residuals (a unary bit-length code with
+// per-position adaptive contexts followed by raw magnitude bits).
+package fpzip
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/entropy"
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// Compressor is the FPZIP-like codec. The zero value is ready to use.
+type Compressor struct{}
+
+// New returns an FPZIP-like compressor.
+func New() *Compressor { return &Compressor{} }
+
+// Name implements compress.Compressor.
+func (*Compressor) Name() string { return "fpzip" }
+
+// Axis implements compress.Compressor: the knob is the retained precision in
+// bits. Lower precision means higher ratio, which Axis.ToModel encodes by
+// negating the knob.
+func (*Compressor) Axis() compress.Axis {
+	return compress.Axis{Kind: compress.Precision, Min: 2, Max: 32}
+}
+
+// RelativeErrorBound returns the worst-case relative error of precision p,
+// used by tests and by documentation; it is not part of the codec contract
+// for p <= 9 where exponent bits start being truncated.
+func RelativeErrorBound(p int) float64 {
+	if p <= 9 {
+		return 1
+	}
+	return math.Ldexp(1, 10-p)
+}
+
+// mapFloat converts a float32 to an order-preserving uint32: negative values
+// have all bits flipped, non-negative values have the sign bit set.
+func mapFloat(v float32) uint32 {
+	b := math.Float32bits(v)
+	if b&0x80000000 != 0 {
+		return ^b
+	}
+	return b | 0x80000000
+}
+
+// unmapFloat inverts mapFloat.
+func unmapFloat(u uint32) float32 {
+	var b uint32
+	if u&0x80000000 != 0 {
+		b = u &^ 0x80000000
+	} else {
+		b = ^u
+	}
+	return math.Float32frombits(b)
+}
+
+// Compress implements compress.Compressor. The knob is rounded to an integer
+// precision in [2, 32].
+func (c *Compressor) Compress(f *grid.Field, knob float64) ([]byte, error) {
+	p := int(math.Round(knob))
+	if p < 2 || p > 32 {
+		return nil, fmt.Errorf("fpzip: precision must be in [2, 32], got %v", knob)
+	}
+	shift := uint(32 - p)
+	n := f.Size()
+	recon := make([]uint32, n) // truncated, shifted-down p-bit values
+	lor := newLorenzoU(f.Dims)
+
+	enc := entropy.NewRangeEncoder()
+	lenModels := entropy.NewBitModels(34)
+	for idx := 0; idx < n; idx++ {
+		u := mapFloat(f.Data[idx]) >> shift
+		pred := lor.predict(recon, idx, p)
+		e := int64(u) - int64(pred)
+		z := zigzag(e)
+		k := uint(bits.Len64(z))
+		for i := uint(0); i < k; i++ {
+			enc.EncodeBit(&lenModels[i], 1)
+		}
+		if k < 33 {
+			// The unary code is capped at the maximum possible length (33
+			// bits for a zigzagged 33-bit residual), where no terminator is
+			// needed; the decoder stops there symmetrically.
+			enc.EncodeBit(&lenModels[k], 0)
+		}
+		if k > 1 {
+			enc.EncodeDirect(z&((1<<(k-1))-1), k-1) // MSB of z is implied
+		}
+		recon[idx] = u
+		lor.advance()
+	}
+	payload := enc.Finish()
+
+	out := compress.AppendHeader(nil, compress.Header{Magic: compress.MagicFPZIP, Name: f.Name, Dims: f.Dims, Knob: float64(p)})
+	return append(out, payload...), nil
+}
+
+// Decompress implements compress.Compressor.
+func (c *Compressor) Decompress(blob []byte) (*grid.Field, error) {
+	h, payload, err := compress.ParseHeader(blob, compress.MagicFPZIP)
+	if err != nil {
+		return nil, fmt.Errorf("fpzip: %w", err)
+	}
+	if n := elemCount(h.Dims); n > compress.MaxPlausibleElems(len(payload)) {
+		return nil, fmt.Errorf("fpzip: %w: %d elements implausible for %d payload bytes", compress.ErrCorrupt, n, len(payload))
+	}
+	p := int(h.Knob)
+	if p < 2 || p > 32 {
+		return nil, fmt.Errorf("fpzip: %w: precision %v", compress.ErrCorrupt, h.Knob)
+	}
+	shift := uint(32 - p)
+	f, err := grid.New(h.Name, h.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("fpzip: %w", err)
+	}
+	n := f.Size()
+	recon := make([]uint32, n)
+	lor := newLorenzoU(h.Dims)
+	dec := entropy.NewRangeDecoder(payload)
+	lenModels := entropy.NewBitModels(34)
+	for idx := 0; idx < n; idx++ {
+		var k uint
+		for k < 33 && dec.DecodeBit(&lenModels[k]) == 1 {
+			k++
+		}
+		var z uint64
+		if k > 0 {
+			z = 1
+			if k > 1 {
+				z = z<<(k-1) | dec.DecodeDirect(k-1)
+			}
+		}
+		e := unzigzag(z)
+		pred := lor.predict(recon, idx, p)
+		u := int64(pred) + e
+		maxU := int64(1)<<uint(p) - 1
+		if u < 0 || u > maxU {
+			return nil, fmt.Errorf("fpzip: %w: value escapes precision domain at %d", compress.ErrCorrupt, idx)
+		}
+		recon[idx] = uint32(u)
+		f.Data[idx] = unmapFloat(uint32(u) << shift)
+		lor.advance()
+	}
+	return f, nil
+}
+
+func zigzag(e int64) uint64 {
+	return uint64((e << 1) ^ (e >> 63))
+}
+
+func unzigzag(z uint64) int64 {
+	return int64(z>>1) ^ -int64(z&1)
+}
+
+// lorenzoU is the Lorenzo predictor over the truncated unsigned domain, with
+// clamping into [0, 2^p) so encoder and decoder stay in range identically.
+type lorenzoU struct {
+	dims    []int
+	strides []int
+	coord   []int
+	offs    []int
+	signs   []int64
+}
+
+func newLorenzoU(dims []int) *lorenzoU {
+	l := &lorenzoU{dims: dims, coord: make([]int, len(dims))}
+	st := 1
+	l.strides = make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		l.strides[i] = st
+		st *= dims[i]
+	}
+	for m := 1; m < 1<<len(dims); m++ {
+		off := 0
+		for d := 0; d < len(dims); d++ {
+			if m&(1<<d) != 0 {
+				off += l.strides[d]
+			}
+		}
+		l.offs = append(l.offs, off)
+		if bits.OnesCount(uint(m))%2 == 1 {
+			l.signs = append(l.signs, 1)
+		} else {
+			l.signs = append(l.signs, -1)
+		}
+	}
+	return l
+}
+
+func (l *lorenzoU) predict(data []uint32, idx, p int) uint32 {
+	var pred int64
+	any := false
+	for m := 1; m < 1<<len(l.dims); m++ {
+		ok := true
+		for d := 0; d < len(l.dims); d++ {
+			if m&(1<<d) != 0 && l.coord[d] == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		any = true
+		pred += l.signs[m-1] * int64(data[idx-l.offs[m-1]])
+	}
+	if !any {
+		// No neighbors: predict the midpoint of the mapped domain (zero).
+		return uint32(1) << uint(p-1)
+	}
+	maxU := int64(1)<<uint(p) - 1
+	if pred < 0 {
+		pred = 0
+	}
+	if pred > maxU {
+		pred = maxU
+	}
+	return uint32(pred)
+}
+
+func (l *lorenzoU) advance() {
+	for d := len(l.dims) - 1; d >= 0; d-- {
+		l.coord[d]++
+		if l.coord[d] < l.dims[d] {
+			return
+		}
+		l.coord[d] = 0
+	}
+}
+
+// elemCount multiplies dims without allocating (header sanity checks).
+func elemCount(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}

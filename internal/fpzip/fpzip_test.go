@@ -1,0 +1,190 @@
+package fpzip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/compress/compresstest"
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+func TestRoundTripRespectsRelativeBound(t *testing.T) {
+	compresstest.RoundTrip(t, New(), []float64{32, 24, 16, 12},
+		func(f *grid.Field, knob float64) float64 {
+			mn, mx := f.Range()
+			maxAbs := math.Max(math.Abs(mn), math.Abs(mx))
+			return maxAbs * RelativeErrorBound(int(knob)) * 2
+		})
+}
+
+func TestRatioMonotoneInPrecision(t *testing.T) {
+	// Lower precision → higher ratio; MonotoneRatio expects increasing, so
+	// feed decreasing precisions.
+	compresstest.MonotoneRatio(t, New(), []float64{32, 28, 24, 20, 16, 12, 8}, true)
+}
+
+func TestRejectsCorrupt(t *testing.T) {
+	compresstest.RejectsCorrupt(t, New(), 16)
+}
+
+func TestInvalidPrecision(t *testing.T) {
+	f := grid.MustNew("t", 8)
+	for _, p := range []float64{0, 1, 33, -5, math.NaN()} {
+		if _, err := New().Compress(f, p); err == nil {
+			t.Errorf("precision %v accepted", p)
+		}
+	}
+}
+
+func TestFullPrecisionIsLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := grid.MustNew("t", 9, 11, 7)
+	for i := range f.Data {
+		f.Data[i] = rng.Float32()*2000 - 1000
+	}
+	blob, err := New().Compress(f, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New().Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if f.Data[i] != g.Data[i] {
+			t.Fatalf("precision 32 not lossless at %d: %v vs %v", i, f.Data[i], g.Data[i])
+		}
+	}
+}
+
+func TestMapFloatOrderPreserving(t *testing.T) {
+	vals := []float32{float32(math.Inf(-1)), -1e30, -3.5, -1, -1e-30, 0, 1e-30, 1, 3.5, 1e30, float32(math.Inf(1))}
+	for i := 1; i < len(vals); i++ {
+		if !(mapFloat(vals[i-1]) < mapFloat(vals[i])) {
+			t.Errorf("order not preserved between %v and %v", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestMapUnmapBijection(t *testing.T) {
+	check := func(b uint32) bool {
+		v := math.Float32frombits(b)
+		if math.IsNaN(float64(v)) {
+			return true // NaN payloads need not round trip bit-exactly
+		}
+		return unmapFloat(mapFloat(v)) == v
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzagBijection(t *testing.T) {
+	for _, e := range []int64{0, 1, -1, 1 << 32, -(1 << 32), math.MaxInt32, math.MinInt32} {
+		if unzigzag(zigzag(e)) != e {
+			t.Errorf("zigzag round trip failed for %d", e)
+		}
+	}
+	check := func(e int64) bool { return unzigzag(zigzag(e)) == e }
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoothDataCompressesWell(t *testing.T) {
+	f := grid.MustNew("s", 32, 32, 32)
+	for z := 0; z < 32; z++ {
+		for y := 0; y < 32; y++ {
+			for x := 0; x < 32; x++ {
+				f.Set(float32(100+10*math.Sin(float64(z+y+x)/20)), z, y, x)
+			}
+		}
+	}
+	r16, err := compress.CompressRatio(New(), f, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16 < 4 {
+		t.Errorf("precision 16 on smooth data: ratio %.2f, want >= 4", r16)
+	}
+	r8, err := compress.CompressRatio(New(), f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8 <= r16 {
+		t.Errorf("ratio should grow as precision drops: p8=%.2f p16=%.2f", r8, r16)
+	}
+}
+
+func TestPrecisionControlsError(t *testing.T) {
+	f := grid.MustNew("s", 24, 24)
+	for y := 0; y < 24; y++ {
+		for x := 0; x < 24; x++ {
+			f.Set(float32(math.Sin(float64(x)/5)*math.Cos(float64(y)/7)), y, x)
+		}
+	}
+	var prev float64 = -1
+	for _, p := range []float64{28, 22, 16, 12} {
+		blob, err := New().Compress(f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New().Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxErr, _ := compress.MaxAbsError(f, g)
+		if prev >= 0 && maxErr < prev {
+			t.Errorf("error should not shrink as precision drops: p=%g err=%g prev=%g", p, maxErr, prev)
+		}
+		prev = maxErr
+	}
+}
+
+func TestInfinitiesSurviveLosslessMode(t *testing.T) {
+	f := grid.MustNew("inf", 4, 4)
+	for i := range f.Data {
+		f.Data[i] = float32(i)
+	}
+	f.Data[3] = float32(math.Inf(1))
+	f.Data[7] = float32(math.Inf(-1))
+	blob, err := New().Compress(f, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New().Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(g.Data[3]), 1) || !math.IsInf(float64(g.Data[7]), -1) {
+		t.Errorf("infinities lost: %v %v", g.Data[3], g.Data[7])
+	}
+	for i := range f.Data {
+		if i != 3 && i != 7 && g.Data[i] != f.Data[i] {
+			t.Errorf("value %d changed: %v vs %v", i, g.Data[i], f.Data[i])
+		}
+	}
+}
+
+func TestDenormalsRoundTrip(t *testing.T) {
+	f := grid.MustNew("den", 8)
+	for i := range f.Data {
+		f.Data[i] = float32(i) * 1e-42 // subnormal range
+	}
+	blob, err := New().Compress(f, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New().Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if g.Data[i] != f.Data[i] {
+			t.Errorf("denormal %d: %g vs %g", i, g.Data[i], f.Data[i])
+		}
+	}
+}

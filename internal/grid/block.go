@@ -1,0 +1,121 @@
+package grid
+
+// Block identifies one cubic block of a field during block iteration.
+type Block struct {
+	// Origin is the coordinate of the block's first sample.
+	Origin []int
+	// Shape is the extent of the block along each dimension. Boundary blocks
+	// are clipped, so Shape entries may be smaller than the nominal block side.
+	Shape []int
+}
+
+// Size returns the number of samples in the block.
+func (b Block) Size() int {
+	n := 1
+	for _, s := range b.Shape {
+		n *= s
+	}
+	return n
+}
+
+// VisitBlocks partitions the field into side^N blocks (clipped at the
+// boundary) and calls fn once per block with the block descriptor and the
+// block's sample values gathered into buf. The buffer is reused between
+// calls; fn must not retain it. Iteration order is row-major over blocks.
+//
+// This is the primitive behind the paper's Compressibility Adjustment
+// (4×4×4 blocks, §IV-E2) and behind ZFP's 4^d block partitioning.
+func VisitBlocks(f *Field, side int, fn func(b Block, vals []float32)) {
+	nd := f.NDims()
+	nblocks := make([]int, nd)
+	for i, d := range f.Dims {
+		nblocks[i] = (d + side - 1) / side
+	}
+	strides := f.Strides()
+	bcoord := make([]int, nd)
+	origin := make([]int, nd)
+	shape := make([]int, nd)
+	buf := make([]float32, pow(side, nd))
+	for {
+		for i := range bcoord {
+			origin[i] = bcoord[i] * side
+			shape[i] = side
+			if origin[i]+shape[i] > f.Dims[i] {
+				shape[i] = f.Dims[i] - origin[i]
+			}
+		}
+		vals := buf[:0]
+		vals = gather(f, origin, shape, strides, vals)
+		fn(Block{Origin: origin, Shape: shape}, vals)
+		d := nd - 1
+		for d >= 0 {
+			bcoord[d]++
+			if bcoord[d] < nblocks[d] {
+				break
+			}
+			bcoord[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// gather appends the samples of the sub-box [origin, origin+shape) to dst in
+// row-major order.
+func gather(f *Field, origin, shape, strides []int, dst []float32) []float32 {
+	nd := len(origin)
+	coord := make([]int, nd)
+	for {
+		lin := 0
+		for i := range coord {
+			lin += (origin[i] + coord[i]) * strides[i]
+		}
+		dst = append(dst, f.Data[lin])
+		d := nd - 1
+		for d >= 0 {
+			coord[d]++
+			if coord[d] < shape[d] {
+				break
+			}
+			coord[d] = 0
+			d--
+		}
+		if d < 0 {
+			return dst
+		}
+	}
+}
+
+// ScatterBlock writes vals (row-major over the block) back into the field at
+// the block's position. It is the inverse of the gather VisitBlocks performs.
+func ScatterBlock(f *Field, b Block, vals []float32) {
+	strides := f.Strides()
+	nd := len(b.Origin)
+	coord := make([]int, nd)
+	for i := range vals {
+		lin := 0
+		for d := range coord {
+			lin += (b.Origin[d] + coord[d]) * strides[d]
+		}
+		f.Data[lin] = vals[i]
+		d := nd - 1
+		for d >= 0 {
+			coord[d]++
+			if coord[d] < b.Shape[d] {
+				break
+			}
+			coord[d] = 0
+			d--
+		}
+	}
+}
+
+func pow(base, exp int) int {
+	n := 1
+	for i := 0; i < exp; i++ {
+		n *= base
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package grid
+
+// StrideSample returns the linear indices of a uniform stride-K sample of the
+// field: every K-th point along each dimension, as described in §IV-E1 of the
+// paper ("Uniform Sampling for Feature Extraction"). With stride 4 on a 3D
+// field this selects 1/64 ≈ 1.5% of the points while preserving the spatial
+// layout needed by neighborhood features (the sampled points form a coarse
+// grid, so Lorenzo/spline differences remain well defined on it).
+//
+// A stride of 1 (or less) selects every point.
+func StrideSample(f *Field, stride int) []int {
+	if stride <= 1 {
+		idx := make([]int, f.Size())
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	sampled := make([]int, 0, f.Size()/stride+1)
+	dims := f.Dims
+	strides := f.Strides()
+	coord := make([]int, len(dims))
+	for {
+		lin := 0
+		for i, c := range coord {
+			lin += c * strides[i]
+		}
+		sampled = append(sampled, lin)
+		// Advance the coordinate odometer by `stride` in the last dimension.
+		d := len(dims) - 1
+		for d >= 0 {
+			coord[d] += stride
+			if coord[d] < dims[d] {
+				break
+			}
+			coord[d] = 0
+			d--
+		}
+		if d < 0 {
+			return sampled
+		}
+	}
+}
+
+// Subsample materialises the stride-K sample of f as a new, smaller field
+// whose dimensions are ceil(dim/stride). Neighborhood-based features computed
+// on the subsampled field approximate those of the full field on smooth data.
+func Subsample(f *Field, stride int) *Field {
+	if stride <= 1 {
+		return f.Clone()
+	}
+	dims := make([]int, len(f.Dims))
+	for i, d := range f.Dims {
+		dims[i] = (d + stride - 1) / stride
+	}
+	out := MustNew(f.Name+"/sub", dims...)
+	srcStrides := f.Strides()
+	coord := make([]int, len(dims))
+	for i := range out.Data {
+		lin := 0
+		for d, c := range coord {
+			lin += c * stride * srcStrides[d]
+		}
+		out.Data[i] = f.Data[lin]
+		for d := len(dims) - 1; d >= 0; d-- {
+			coord[d]++
+			if coord[d] < dims[d] {
+				break
+			}
+			coord[d] = 0
+		}
+	}
+	return out
+}

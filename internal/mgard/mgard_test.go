@@ -1,0 +1,111 @@
+package mgard
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/compress/compresstest"
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+func TestRoundTripRespectsBound(t *testing.T) {
+	compresstest.RoundTrip(t, New(), []float64{1e-4, 1e-2, 0.5, 10},
+		func(f *grid.Field, knob float64) float64 { return knob })
+}
+
+func TestRatioMonotone(t *testing.T) {
+	compresstest.MonotoneRatio(t, New(), []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}, true)
+}
+
+func TestRejectsCorrupt(t *testing.T) {
+	compresstest.RejectsCorrupt(t, New(), 1e-3)
+}
+
+func TestInvalidErrorBound(t *testing.T) {
+	f := grid.MustNew("t", 8)
+	for _, eb := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := New().Compress(f, eb); err == nil {
+			t.Errorf("eb=%v accepted", eb)
+		}
+	}
+}
+
+func TestHierarchyVisitsEveryPointOnce(t *testing.T) {
+	for _, dims := range [][]int{{16}, {8, 8}, {7, 9}, {8, 6, 10}, {5, 4, 3, 6}, {1, 7}, {2, 2, 2}} {
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		seen := make([]int, n)
+		recon := make([]float32, n)
+		visitHierarchy(dims, func(idx int, pred func() float64) {
+			if idx < 0 || idx >= n {
+				t.Fatalf("dims %v: index %d out of range", dims, idx)
+			}
+			seen[idx]++
+			_ = pred() // must not panic and must only touch visited points
+		}, recon)
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("dims %v: point %d visited %d times", dims, i, s)
+			}
+		}
+	}
+}
+
+func TestPredictorsOnlyUseVisitedPoints(t *testing.T) {
+	dims := []int{9, 12}
+	n := 108
+	recon := make([]float32, n)
+	visited := make([]bool, n)
+	// Poison unvisited entries: if a predictor reads one, the prediction will
+	// contain the poison value and the check below fails.
+	const poison = 1e30
+	for i := range recon {
+		recon[i] = poison
+	}
+	visitHierarchy(dims, func(idx int, pred func() float64) {
+		p := pred()
+		if math.Abs(p) > 1e29 {
+			t.Fatalf("predictor for %d read an unvisited point (pred=%g)", idx, p)
+		}
+		visited[idx] = true
+		recon[idx] = 1 // any non-poison value
+	}, recon)
+	for i, v := range visited {
+		if !v {
+			t.Fatalf("point %d never visited", i)
+		}
+	}
+}
+
+func TestSmoothFieldHighRatio(t *testing.T) {
+	f := grid.MustNew("s", 48, 48, 48)
+	for z := 0; z < 48; z++ {
+		for y := 0; y < 48; y++ {
+			for x := 0; x < 48; x++ {
+				f.Set(float32(math.Sin(float64(z)/16)+math.Cos(float64(y)/16)+math.Sin(float64(x)/16)), z, y, x)
+			}
+		}
+	}
+	r, err := compress.CompressRatio(New(), f, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 15 {
+		t.Errorf("smooth field ratio %.1f, want >= 15", r)
+	}
+}
+
+func TestConstantFieldExtremeRatio(t *testing.T) {
+	f := grid.MustNew("c", 32, 32, 32)
+	f.Fill(-7.5)
+	r, err := compress.CompressRatio(New(), f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 500 {
+		t.Errorf("constant field ratio %.1f, want >= 500", r)
+	}
+}

@@ -1,0 +1,26 @@
+package ml
+
+import "testing"
+
+func BenchmarkForestFit(b *testing.B) {
+	X, y := synth(500, 6, 1, 0.2)
+	for i := 0; i < b.N; i++ {
+		f := NewForest(ForestConfig{Trees: 50, Seed: 1})
+		if err := f.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	X, y := synth(500, 6, 1, 0.2)
+	f := NewForest(ForestConfig{Trees: 50, Seed: 1})
+	if err := f.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	probe := X[123]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(probe)
+	}
+}

@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KFold splits n sample indices into k shuffled folds and returns, for each
+// fold, the (train, test) index pair. k is clamped to [2, n].
+func KFold(n, k int, seed int64) [][2][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	out := make([][2][]int, k)
+	for f := 0; f < k; f++ {
+		var train []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, folds[g]...)
+			}
+		}
+		out[f] = [2][]int{train, folds[f]}
+	}
+	return out
+}
+
+// CrossValidate returns the k-fold mean absolute error of the model family
+// produced by build. The paper tunes all three candidate models with k-fold
+// cross-validation (§IV-D).
+func CrossValidate(build func() Regressor, X [][]float64, y []float64, k int, seed int64) (float64, error) {
+	if err := validate(X, y); err != nil {
+		return 0, err
+	}
+	var total float64
+	var count int
+	for _, fold := range KFold(len(X), k, seed) {
+		train, test := fold[0], fold[1]
+		if len(test) == 0 {
+			continue
+		}
+		tx := make([][]float64, len(train))
+		ty := make([]float64, len(train))
+		for i, j := range train {
+			tx[i] = X[j]
+			ty[i] = y[j]
+		}
+		m := build()
+		if err := m.Fit(tx, ty); err != nil {
+			return 0, err
+		}
+		for _, j := range test {
+			total += math.Abs(m.Predict(X[j]) - y[j])
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, ErrNoData
+	}
+	return total / float64(count), nil
+}
+
+// GridSearch evaluates every candidate builder with k-fold cross-validation
+// and returns the index of the best (lowest MAE) candidate and its score.
+func GridSearch(builders []func() Regressor, X [][]float64, y []float64, k int, seed int64) (int, float64, error) {
+	best, bestScore := -1, math.Inf(1)
+	for i, b := range builders {
+		score, err := CrossValidate(b, X, y, k, seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return 0, 0, ErrNoData
+	}
+	return best, bestScore, nil
+}

@@ -1,0 +1,11 @@
+package zfp
+
+import (
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/compress/compresstest"
+)
+
+func BenchmarkCompress(b *testing.B)          { compresstest.BenchCompress(b, New(), 1e-3) }
+func BenchmarkDecompress(b *testing.B)        { compresstest.BenchDecompress(b, New(), 1e-3) }
+func BenchmarkFixedRateCompress(b *testing.B) { compresstest.BenchCompress(b, NewFixedRate(), 8) }

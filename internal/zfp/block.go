@@ -1,0 +1,188 @@
+package zfp
+
+import "sort"
+
+// Fixed-point and transform machinery for 4^d blocks, following the ZFP 0.5.x
+// algorithm: values in a block are aligned to a common exponent, converted to
+// 30-bit signed fixed point, decorrelated with a separable lifted transform,
+// reordered by total sequency, and mapped to negabinary for embedded coding.
+
+const (
+	// intPrec is the fixed-point precision for float32 data (zfp's Int=int32).
+	intPrec = 32
+	// blockSide is the block extent along each dimension.
+	blockSide = 4
+)
+
+// fwdLift applies zfp's forward decorrelating transform to 4 elements with
+// stride s. The transform approximates 1/16 * [[4,4,4,4],[5,1,-1,-5],
+// [-4,4,4,-4],[-2,6,-6,2]] using reversible-ish lifting steps.
+func fwdLift(p []int32, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// invLift inverts fwdLift (up to the transform's inherent rounding).
+func invLift(p []int32, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// fwdTransform decorrelates a 4^nd block in place, lifting along every
+// dimension. Strides follow the row-major layout of the gathered block.
+func fwdTransform(blk []int32, nd int) {
+	switch nd {
+	case 1:
+		fwdLift(blk, 0, 1)
+	case 2:
+		for y := 0; y < 4; y++ {
+			fwdLift(blk, 4*y, 1)
+		}
+		for x := 0; x < 4; x++ {
+			fwdLift(blk, x, 4)
+		}
+	default: // 3
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(blk, 16*z+4*y, 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(blk, 16*z+x, 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(blk, 4*y+x, 16)
+			}
+		}
+	}
+}
+
+// invTransform inverts fwdTransform (dimensions in reverse order).
+func invTransform(blk []int32, nd int) {
+	switch nd {
+	case 1:
+		invLift(blk, 0, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(blk, x, 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(blk, 4*y, 1)
+		}
+	default: // 3
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(blk, 4*y+x, 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(blk, 16*z+x, 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(blk, 16*z+4*y, 1)
+			}
+		}
+	}
+}
+
+// perms[nd-1] orders transform coefficients by total sequency (the sum of
+// per-dimension frequency indices), lowest first, matching the spirit of
+// zfp's PERM tables. Encoder and decoder share the table, so the exact
+// tie-break (linear index) is immaterial.
+var perms = buildPerms()
+
+func buildPerms() [3][]int {
+	var out [3][]int
+	for nd := 1; nd <= 3; nd++ {
+		n := 1
+		for i := 0; i < nd; i++ {
+			n *= blockSide
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		seq := func(i int) int {
+			s := 0
+			for d := 0; d < nd; d++ {
+				s += i % blockSide
+				i /= blockSide
+			}
+			return s
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			sa, sb := seq(idx[a]), seq(idx[b])
+			if sa != sb {
+				return sa < sb
+			}
+			return idx[a] < idx[b]
+		})
+		out[nd-1] = idx
+	}
+	return out
+}
+
+// int32ToNegabinary maps two's complement to negabinary so that small
+// magnitudes of either sign have leading zero bits.
+func int32ToNegabinary(x int32) uint32 {
+	const mask = 0xaaaaaaaa
+	return (uint32(x) + mask) ^ mask
+}
+
+// negabinaryToInt32 inverts int32ToNegabinary.
+func negabinaryToInt32(u uint32) int32 {
+	const mask = 0xaaaaaaaa
+	return int32((u ^ mask) - mask)
+}
+
+// padLine fills positions n..3 of a 4-element line (stride s) from the first
+// n valid samples, using zfp's pad_block pattern.
+func padLine(p []float32, off, s, n int) {
+	switch n {
+	case 0:
+		p[off] = 0
+		fallthrough
+	case 1:
+		p[off+s] = p[off]
+		fallthrough
+	case 2:
+		p[off+2*s] = p[off+s]
+		fallthrough
+	case 3:
+		p[off+3*s] = p[off]
+	}
+}

@@ -1,0 +1,156 @@
+package zfp
+
+import (
+	"math"
+
+	"github.com/fxrz-go/fxrz/internal/entropy"
+)
+
+// Embedded bit-plane coding of a block of negabinary coefficients with
+// group testing, transcribed from zfp's encode_ints/decode_ints. Bit planes
+// are visited from most to least significant; within a plane, coefficients
+// already known to be significant are coded verbatim and the remainder is
+// coded with a unary run-length scheme that stops at the first new
+// significant coefficient.
+
+// encodeInts writes up to maxbits bits covering maxprec bit planes of data
+// (negabinary, ordered by sequency) and returns the number of bits written.
+func encodeInts(w *entropy.BitWriter, maxbits, maxprec int, data []uint32) int {
+	size := len(data)
+	kmin := 0
+	if intPrec > maxprec {
+		kmin = intPrec - maxprec
+	}
+	bits := maxbits
+	n := 0
+	for k := intPrec; k > kmin && bits > 0; k-- {
+		kk := uint(k - 1)
+		// Step 1: gather bit plane kk across coefficients (size <= 64).
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= uint64((data[i]>>kk)&1) << uint(i)
+		}
+		// Step 2: plane bits of already-significant coefficients, verbatim.
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		w.WriteBits(x, uint(m))
+		x >>= uint(m)
+		// Step 3: unary run-length code the rest.
+		for n < size && bits > 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits > 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return maxbits - bits
+}
+
+// decodeInts mirrors encodeInts, reconstructing coefficients from up to
+// maxbits bits; it returns the number of bits consumed. Reads past the
+// encoded tail see zeros, matching zfp's stream semantics.
+func decodeInts(r *entropy.BitReader, maxbits, maxprec int, data []uint32) int {
+	size := len(data)
+	for i := range data {
+		data[i] = 0
+	}
+	kmin := 0
+	if intPrec > maxprec {
+		kmin = intPrec - maxprec
+	}
+	bits := maxbits
+	n := 0
+	for k := intPrec; k > kmin && bits > 0; k-- {
+		kk := uint(k - 1)
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x := r.TryReadBits(uint(m))
+		for n < size && bits > 0 {
+			bits--
+			if r.TryReadBit() == 0 {
+				break
+			}
+			for n < size-1 && bits > 0 {
+				bits--
+				if r.TryReadBit() != 0 {
+					break
+				}
+				n++
+			}
+			x |= uint64(1) << uint(n)
+			n++
+		}
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			data[i] |= uint32(x&1) << kk
+		}
+	}
+	return maxbits - bits
+}
+
+// blockEmax returns the common exponent for a block: the smallest e with
+// max|v| < 2^e, and whether the block is entirely zero.
+func blockEmax(vals []float32) (int, bool) {
+	var m float64
+	for _, v := range vals {
+		a := math.Abs(float64(v))
+		if a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 0, true
+	}
+	_, e := math.Frexp(m) // m = f * 2^e with f in [0.5, 1)
+	return e, false
+}
+
+// precision returns the number of bit planes to code in fixed-accuracy mode,
+// zfp's conservative formula: planes below minexp cannot affect the result
+// by more than the tolerance once transform error growth (2 bits per
+// dimension plus sign) is accounted for.
+func precision(emax, minexp, nd int) int {
+	p := emax - minexp + 2*(nd+1)
+	if p < 0 {
+		p = 0
+	}
+	if p > intPrec {
+		p = intPrec
+	}
+	return p
+}
+
+// quantize converts block values to 30-bit fixed point at the common
+// exponent; dequantize inverts it.
+func quantize(vals []float32, emax int, out []int32) {
+	s := math.Ldexp(1, intPrec-2-emax)
+	for i, v := range vals {
+		out[i] = int32(float64(v) * s)
+	}
+}
+
+func dequantize(in []int32, emax int, out []float32) {
+	s := math.Ldexp(1, emax-(intPrec-2))
+	for i, q := range in {
+		out[i] = float32(float64(q) * s)
+	}
+}

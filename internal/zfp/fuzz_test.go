@@ -1,0 +1,30 @@
+package zfp
+
+import (
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// FuzzDecompress drives the decoder with arbitrary byte streams: it must
+// return errors (or wrong data) on garbage, never panic or hang. Seeds are
+// valid streams so mutations explore near-valid inputs.
+func FuzzDecompress(f *testing.F) {
+	fld := grid.MustNew("seed", 6, 7, 5)
+	for i := range fld.Data {
+		fld.Data[i] = float32(i%13) * 0.5
+	}
+	c := New()
+	knob := 1e-3
+	if blob, err := c.Compress(fld, knob); err == nil {
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x5A, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := c.Decompress(data)
+		if err == nil && g != nil && g.Size() > 1<<24 {
+			t.Skip("oversized but well-formed header")
+		}
+	})
+}
