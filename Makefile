@@ -1,0 +1,15 @@
+# Verification tiers. tier-1 (verify) is the PR gate; tier-2 (verify-race)
+# additionally vets the code and runs the full suite under the race detector,
+# which must stay clean now that training fans out across a worker pool.
+
+.PHONY: verify verify-race bench-train
+
+verify:
+	go build ./... && go test ./...
+
+verify-race:
+	go vet ./... && go test -race ./...
+
+# Re-record the BENCH_train.json trajectory (run on a multi-core machine).
+bench-train:
+	go test -run xxx -bench BenchmarkTrainParallel -benchtime 3x .

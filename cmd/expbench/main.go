@@ -29,15 +29,16 @@ func main() {
 		noFRaZ = flag.Bool("nofraz", false, "skip the FRaZ baseline experiments (fig12/fig13/fig14/table8)")
 		comps  = flag.String("comps", "", "comma-separated compressor subset for comparison experiments (default: all)")
 		tcrs   = flag.Int("tcrs", 0, "override the number of target ratios per test field")
+		par    = flag.Int("parallelism", 0, "worker pool size for sweeps and analysis (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(*which, *scale, *maxTF, *noFRaZ, *comps, *tcrs); err != nil {
+	if err := run(*which, *scale, *maxTF, *noFRaZ, *comps, *tcrs, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "expbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, scaleName string, maxTestFields int, noFRaZ bool, compsFlag string, tcrs int) error {
+func run(which, scaleName string, maxTestFields int, noFRaZ bool, compsFlag string, tcrs, parallelism int) error {
 	var scale exp.Scale
 	switch scaleName {
 	case "tiny":
@@ -50,6 +51,7 @@ func run(which, scaleName string, maxTestFields int, noFRaZ bool, compsFlag stri
 	if tcrs > 0 {
 		scale.TCRs = tcrs
 	}
+	scale.Parallelism = parallelism
 	comps := exp.CompressorNames
 	if compsFlag != "" {
 		comps = strings.Split(compsFlag, ",")

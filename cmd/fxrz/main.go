@@ -142,6 +142,7 @@ func cmdTrain(args []string) error {
 	train := fs.String("train", "", "comma-separated training field files (required)")
 	out := fs.String("o", "", "output model path (required)")
 	stationary := fs.Int("stationary", 25, "stationary points per training field")
+	parallelism := fs.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("train: -o is required")
@@ -156,6 +157,7 @@ func cmdTrain(args []string) error {
 	}
 	cfg := fxrz.DefaultConfig()
 	cfg.StationaryPoints = *stationary
+	cfg.Parallelism = *parallelism
 	fw, err := fxrz.Train(c, fields, cfg)
 	if err != nil {
 		return err
@@ -187,6 +189,7 @@ func cmdEstimate(args []string, pack bool) error {
 	in := fs.String("in", "", "input field file (required)")
 	out := fs.String("o", "", "output stream path (pack only)")
 	stationary := fs.Int("stationary", 25, "stationary points per training field")
+	parallelism := fs.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
 	fs.Parse(args)
 	if *target <= 0 || *in == "" {
 		return fmt.Errorf("%s: -target and -in are required", name)
@@ -218,6 +221,7 @@ func cmdEstimate(args []string, pack bool) error {
 		}
 		cfg := fxrz.DefaultConfig()
 		cfg.StationaryPoints = *stationary
+		cfg.Parallelism = *parallelism
 		fw, err = fxrz.Train(c, fields, cfg)
 		if err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
 // DefaultLambda is the constant-block threshold coefficient the paper's
@@ -13,12 +14,26 @@ const DefaultLambda = 0.15
 // DefaultBlockSide matches the paper's 4×4×4 CA blocks.
 const DefaultBlockSide = 4
 
+// caChunkBlocks is the number of CA blocks one parallel scan task covers.
+// Per-block constant/non-constant verdicts are independent booleans, so the
+// aggregated count is exactly the serial result at any worker count.
+const caChunkBlocks = 256
+
 // NonConstantRatio implements the Compressibility Adjustment scan (§IV-E2):
 // the field is split into blockSide^d blocks; a block whose value range is
 // below λ·|mean value of the dataset| is "constant" (its compressed size is
 // taken as ~0); R is the fraction of non-constant blocks. The adjusted
 // compression ratio fed to the model is ACR = TCR · R (Formula 4).
 func NonConstantRatio(f *grid.Field, blockSide int, lambda float64) float64 {
+	return NonConstantRatioParallel(f, blockSide, lambda, 1)
+}
+
+// NonConstantRatioParallel is NonConstantRatio with the block scan fanned out
+// over a bounded worker pool. workers <= 1 scans serially on the calling
+// goroutine. The result is exactly the serial value at every worker count:
+// the threshold comes from a serial mean pass, and each block contributes an
+// order-independent boolean to the count.
+func NonConstantRatioParallel(f *grid.Field, blockSide int, lambda float64, workers int) float64 {
 	if blockSide <= 0 {
 		blockSide = DefaultBlockSide
 	}
@@ -26,25 +41,34 @@ func NonConstantRatio(f *grid.Field, blockSide int, lambda float64) float64 {
 		lambda = DefaultLambda
 	}
 	threshold := lambda * math.Abs(f.Mean())
-	total, nonConst := 0, 0
-	grid.VisitBlocks(f, blockSide, func(_ grid.Block, vals []float32) {
-		total++
-		mn, mx := vals[0], vals[0]
-		for _, v := range vals[1:] {
-			if v < mn {
-				mn = v
-			}
-			if v > mx {
-				mx = v
-			}
-		}
-		if float64(mx-mn) >= threshold {
-			nonConst++
-		}
-	})
+
+	nd := f.NDims()
+	nblocks := make([]int, nd)
+	total := 1
+	for i, d := range f.Dims {
+		nblocks[i] = (d + blockSide - 1) / blockSide
+		total *= nblocks[i]
+	}
 	if total == 0 {
 		return 1
 	}
+	strides := f.Strides()
+
+	nc := (total + caChunkBlocks - 1) / caChunkBlocks
+	counts := make([]int, nc)
+	pool.Run(workers, nc, func(ci int) {
+		lo := ci * caChunkBlocks
+		hi := lo + caChunkBlocks
+		if hi > total {
+			hi = total
+		}
+		counts[ci] = countNonConstantBlocks(f, blockSide, nblocks, strides, lo, hi, threshold)
+	})
+	nonConst := 0
+	for _, c := range counts {
+		nonConst += c
+	}
+
 	r := float64(nonConst) / float64(total)
 	if r == 0 {
 		// A fully constant dataset still compresses to *something*; keep the
@@ -52,6 +76,69 @@ func NonConstantRatio(f *grid.Field, blockSide int, lambda float64) float64 {
 		r = 1 / float64(total)
 	}
 	return r
+}
+
+// countNonConstantBlocks scans blocks [lo, hi) in the row-major linear block
+// order of grid.VisitBlocks and counts those whose value range meets the
+// threshold. It reads samples in place — no gather buffer — so concurrent
+// tasks share nothing but the read-only field.
+func countNonConstantBlocks(f *grid.Field, side int, nblocks, strides []int, lo, hi int, threshold float64) int {
+	nd := len(nblocks)
+	bcoord := make([]int, nd)
+	origin := make([]int, nd)
+	shape := make([]int, nd)
+	coord := make([]int, nd)
+	count := 0
+	for bi := lo; bi < hi; bi++ {
+		// Decompose the linear block index (row-major, last dim fastest).
+		rem := bi
+		for d := nd - 1; d >= 0; d-- {
+			bcoord[d] = rem % nblocks[d]
+			rem /= nblocks[d]
+		}
+		base := 0
+		for d := 0; d < nd; d++ {
+			origin[d] = bcoord[d] * side
+			shape[d] = side
+			if origin[d]+shape[d] > f.Dims[d] {
+				shape[d] = f.Dims[d] - origin[d]
+			}
+			base += origin[d] * strides[d]
+			coord[d] = 0
+		}
+		// Min/max over the clipped block via a coordinate odometer.
+		mn := f.Data[base]
+		mx := mn
+		for {
+			lin := base
+			for d := 0; d < nd; d++ {
+				lin += coord[d] * strides[d]
+			}
+			v := f.Data[lin]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			d := nd - 1
+			for d >= 0 {
+				coord[d]++
+				if coord[d] < shape[d] {
+					break
+				}
+				coord[d] = 0
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+		if float64(mx-mn) >= threshold {
+			count++
+		}
+	}
+	return count
 }
 
 // AdjustRatio applies Formula (4): ACR = TCR · R.

@@ -7,6 +7,7 @@ import (
 
 	"github.com/fxrz-go/fxrz/internal/compress"
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
 // Stationary is one measured (knob setting, compression ratio) point
@@ -31,16 +32,31 @@ type Curve struct {
 // assembles the interpolation curve. This is the expensive training-time
 // step the augmentation then amortises.
 func BuildCurve(c compress.Compressor, f *grid.Field, knobs []float64) (*Curve, error) {
+	return BuildCurveParallel(c, f, knobs, 1)
+}
+
+// BuildCurveParallel is BuildCurve with the per-knob compressor runs fanned
+// out over a bounded worker pool. workers <= 1 sweeps serially on the calling
+// goroutine. Measurements land in knob-indexed slots and any error reported
+// is the lowest-indexed knob's, so the curve — and the error surfaced on
+// failure — is identical at every worker count. The compressor must be safe
+// for concurrent Compress calls (all built-in codecs are stateless).
+func BuildCurveParallel(c compress.Compressor, f *grid.Field, knobs []float64, workers int) (*Curve, error) {
 	if len(knobs) < 2 {
 		return nil, fmt.Errorf("core: need at least 2 stationary knobs, got %d", len(knobs))
 	}
-	pts := make([]Stationary, 0, len(knobs))
-	for _, k := range knobs {
+	pts := make([]Stationary, len(knobs))
+	err := pool.RunErr(workers, len(knobs), func(i int) error {
+		k := knobs[i]
 		r, err := compress.CompressRatio(c, f, k)
 		if err != nil {
-			return nil, fmt.Errorf("core: stationary point knob=%g on %s: %w", k, f.Name, err)
+			return fmt.Errorf("core: stationary point knob=%g on %s: %w", k, f.Name, err)
 		}
-		pts = append(pts, Stationary{Knob: k, Ratio: r})
+		pts[i] = Stationary{Knob: k, Ratio: r}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return NewCurve(c.Axis(), pts)
 }

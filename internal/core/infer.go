@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
 // Estimate is the inference engine's output: the recommended knob plus the
@@ -39,7 +40,7 @@ func (e Estimate) AnalysisTime() time.Duration {
 func (fw *Framework) ValidRatioRange(f *grid.Field) (lo, hi float64) {
 	r := 1.0
 	if fw.cfg.UseCA {
-		r = NonConstantRatio(f, fw.cfg.BlockSide, fw.cfg.Lambda)
+		r = NonConstantRatioParallel(f, fw.cfg.BlockSide, fw.cfg.Lambda, pool.Workers(fw.cfg.Parallelism))
 	}
 	return fw.ratioLo / r, fw.ratioHi / r
 }
@@ -55,15 +56,16 @@ func (fw *Framework) EstimateConfig(f *grid.Field, targetRatio float64) (Estimat
 		return Estimate{}, fmt.Errorf("core: target ratio must be a positive finite number, got %v", targetRatio)
 	}
 	var est Estimate
+	workers := pool.Workers(fw.cfg.Parallelism)
 
 	t0 := time.Now()
-	feats := ExtractFeatures(f, fw.cfg.Stride).Vector()
+	feats := ExtractFeaturesParallel(f, fw.cfg.Stride, workers).Vector()
 	est.FeatureTime = time.Since(t0)
 
 	est.NonConstantR = 1
 	if fw.cfg.UseCA {
 		t1 := time.Now()
-		est.NonConstantR = NonConstantRatio(f, fw.cfg.BlockSide, fw.cfg.Lambda)
+		est.NonConstantR = NonConstantRatioParallel(f, fw.cfg.BlockSide, fw.cfg.Lambda, workers)
 		est.CATime = time.Since(t1)
 	}
 	est.AdjustedRatio = AdjustRatio(targetRatio, est.NonConstantR)

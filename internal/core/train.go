@@ -7,6 +7,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/compress"
 	"github.com/fxrz-go/fxrz/internal/grid"
 	"github.com/fxrz-go/fxrz/internal/ml"
+	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
 // ModelKind selects the regressor family (§IV-D compares all three; the
@@ -49,6 +50,13 @@ type Config struct {
 	Trees int
 	// Seed drives all stochastic components.
 	Seed int64
+	// Parallelism bounds the worker pool used for stationary sweeps, feature
+	// extraction and the CA block scan. 0 (the zero value) means all cores
+	// (runtime.GOMAXPROCS(0)); 1 runs everything serially on the calling
+	// goroutine. Training results are bit-identical at every setting: work is
+	// partitioned into fixed, worker-count-independent units and assembled in
+	// index order.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's configuration: stride-4 sampling, CA on
@@ -166,39 +174,117 @@ func Train(c compress.Compressor, fields []*grid.Field, cfg Config) (*Framework,
 // the compressor as usual; cached fields cost no compressor runs. The cache
 // lets experiment harnesses amortise sweeps across configurations that do
 // not change the sweep itself (model family, λ, stride).
+//
+// Cache ownership contract: the curves map is read only on the calling
+// goroutine, before any worker starts — a snapshot of the relevant entries is
+// taken up front, so worker goroutines never touch the map. The caller must
+// not mutate the map (or the cached curves) for the duration of the call;
+// after TrainWithCurves returns, the map is the caller's again.
+//
+// The pipeline runs in three stages, each deterministic at any
+// cfg.Parallelism: per-field feature extraction and CA scanning fan out
+// across fields; the stationary sweeps for all uncached fields are flattened
+// into one (field, knob) task list through a single bounded pool, with each
+// measurement landing in its own indexed slot; the training set is then
+// assembled serially in field order. Same seed + same fields therefore yield
+// bit-identical models at every worker count.
 func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, curves map[string]*Curve) (*Framework, error) {
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("core: no training fields")
 	}
 	cfg = cfg.withDefaults()
 	fw := &Framework{cfg: cfg, axis: c.Axis(), compressor: c.Name()}
+	workers := pool.Workers(cfg.Parallelism)
+	n := len(fields)
 
+	// Snapshot the cache serially (see the ownership contract above).
+	fieldCurves := make([]*Curve, n)
+	for i, f := range fields {
+		fieldCurves[i] = curves[f.Name]
+	}
+
+	// Stage A: per-field analysis. With a single field the pool parallelises
+	// inside the reductions instead of across fields.
+	type analysis struct {
+		feats []float64
+		r     float64
+	}
+	inner := 1
+	if n == 1 {
+		inner = workers
+	}
+	analyses := make([]analysis, n)
+	pool.Run(workers, n, func(i int) {
+		a := analysis{feats: ExtractFeaturesParallel(fields[i], cfg.Stride, inner).Vector(), r: 1}
+		if cfg.UseCA {
+			a.r = NonConstantRatioParallel(fields[i], cfg.BlockSide, cfg.Lambda, inner)
+		}
+		analyses[i] = a
+	})
+
+	// Stage B: one flat (field, knob) task list for every uncached field.
+	// RunErr reports the lowest-indexed failure, which is the same error the
+	// serial field-by-field, knob-by-knob loop would have surfaced.
+	type sweepTask struct {
+		field int
+		knob  float64
+	}
+	knobCount := make([]int, n)
+	var tasks []sweepTask
+	for i, f := range fields {
+		if fieldCurves[i] != nil {
+			continue
+		}
+		knobs := SweepKnobs(fw.axis, f, cfg.StationaryPoints, cfg.RelKnobMin, cfg.RelKnobMax)
+		if len(knobs) < 2 {
+			return nil, fmt.Errorf("core: training on %s: core: need at least 2 stationary knobs, got %d", f.Name, len(knobs))
+		}
+		knobCount[i] = len(knobs)
+		for _, k := range knobs {
+			tasks = append(tasks, sweepTask{field: i, knob: k})
+		}
+	}
+	pts := make([]Stationary, len(tasks))
+	t0 := time.Now()
+	err := pool.RunErr(workers, len(tasks), func(ti int) error {
+		t := tasks[ti]
+		f := fields[t.field]
+		r, err := compress.CompressRatio(c, f, t.knob)
+		if err != nil {
+			return fmt.Errorf("core: training on %s: core: stationary point knob=%g on %s: %w", f.Name, t.knob, f.Name, err)
+		}
+		pts[ti] = Stationary{Knob: t.knob, Ratio: r}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fw.stats.StationarySweep = time.Since(t0)
+
+	ti := 0
+	for i, f := range fields {
+		if fieldCurves[i] != nil {
+			continue
+		}
+		curve, err := NewCurve(fw.axis, pts[ti:ti+knobCount[i]])
+		if err != nil {
+			return nil, fmt.Errorf("core: training on %s: %w", f.Name, err)
+		}
+		fieldCurves[i] = curve
+		ti += knobCount[i]
+	}
+
+	// Stage C: serial assembly in field order — sample order, and with it the
+	// seeded model fit, is independent of the worker count.
 	var X [][]float64
 	var y []float64
 	fw.ratioLo, fw.ratioHi = 0, 0
 
-	for _, f := range fields {
-		feats := ExtractFeatures(f, cfg.Stride).Vector()
-		r := 1.0
-		if cfg.UseCA {
-			r = NonConstantRatio(f, cfg.BlockSide, cfg.Lambda)
-		}
-
-		t0 := time.Now()
-		curve := curves[f.Name]
-		if curve == nil {
-			knobs := SweepKnobs(fw.axis, f, cfg.StationaryPoints, cfg.RelKnobMin, cfg.RelKnobMax)
-			var err error
-			curve, err = BuildCurve(c, f, knobs)
-			if err != nil {
-				return nil, fmt.Errorf("core: training on %s: %w", f.Name, err)
-			}
-		}
-		fw.stats.StationarySweep += time.Since(t0)
-
-		t1 := time.Now()
-		samples := curve.Augment(cfg.AugmentPerField)
-		fw.stats.Augmentation += time.Since(t1)
+	t1 := time.Now()
+	for i := range fields {
+		feats := analyses[i].feats
+		r := analyses[i].r
+		samples := fieldCurves[i].Augment(cfg.AugmentPerField)
 
 		for _, s := range samples {
 			acr := s.Ratio
@@ -216,6 +302,7 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 		}
 		fw.stats.FieldsTrained++
 	}
+	fw.stats.Augmentation = time.Since(t1)
 	fw.stats.Samples = len(X)
 
 	var model ml.Regressor

@@ -20,14 +20,16 @@ func HuffmanEncode(symbols []uint32, alphabet int) ([]byte, error) {
 	if alphabet <= 0 {
 		return nil, fmt.Errorf("entropy: invalid alphabet size %d", alphabet)
 	}
-	freq := make([]int, alphabet)
+	freq := getInts(alphabet)
 	for _, s := range symbols {
 		if int(s) >= alphabet {
+			putInts(freq)
 			return nil, fmt.Errorf("entropy: symbol %d outside alphabet %d", s, alphabet)
 		}
 		freq[s]++
 	}
 	lengths := huffmanLengths(freq)
+	putInts(freq)
 	codes := canonicalCodes(lengths)
 
 	var out []byte
@@ -36,14 +38,16 @@ func HuffmanEncode(symbols []uint32, alphabet int) ([]byte, error) {
 	// Length table: run-length encode zeros since most alphabets are sparse.
 	out = appendLengthTable(out, lengths)
 
-	w := &BitWriter{}
+	w := &BitWriter{buf: getBytes()}
 	for _, s := range symbols {
 		c := codes[s]
 		w.WriteBits(uint64(c.code), uint(c.len))
 	}
+	putCodes(codes)
 	payload := w.Bytes()
 	out = binary.AppendUvarint(out, uint64(len(payload)))
 	out = append(out, payload...)
+	putBytes(payload)
 	return out, nil
 }
 
@@ -212,7 +216,9 @@ type huffCode struct {
 }
 
 // canonicalCodes assigns canonical codes (shorter codes first, then by
-// symbol), stored bit-reversed so they can be emitted LSB-first.
+// symbol), stored bit-reversed so they can be emitted LSB-first. The table
+// comes from the scratch pool; callers return it with putCodes. Entries for
+// zero-length symbols are left stale — see getCodes.
 func canonicalCodes(lengths []uint8) []huffCode {
 	type symLen struct {
 		sym int
@@ -230,7 +236,7 @@ func canonicalCodes(lengths []uint8) []huffCode {
 		}
 		return syms[i].sym < syms[j].sym
 	})
-	codes := make([]huffCode, len(lengths))
+	codes := getCodes(len(lengths))
 	var code uint32
 	var prevLen uint8
 	for _, sl := range syms {

@@ -36,11 +36,14 @@ func lzHash(b []byte) uint32 {
 // length so the decoder can allocate exactly once.
 func LZCompress(src []byte) []byte {
 	out := binary.AppendUvarint(nil, uint64(len(src)))
-	head := make([]int32, 1<<lzHashBits)
+	// Hash-chain state comes from the scratch pool: head is re-armed to -1
+	// below, and prev entries are only ever read through chains written during
+	// this run, so neither needs a fresh allocation.
+	head := getInt32s(1 << lzHashBits)
 	for i := range head {
 		head[i] = -1
 	}
-	prev := make([]int32, len(src))
+	prev := getInt32s(len(src))
 
 	litStart := 0
 	i := 0
@@ -90,6 +93,8 @@ func LZCompress(src []byte) []byte {
 	}
 	// Trailing literals and terminator.
 	emit(len(src), 0, 0)
+	putInt32s(head)
+	putInt32s(prev)
 	return out
 }
 
@@ -179,11 +184,14 @@ func LZDecompress(blob []byte) ([]byte, error) {
 // the LZ output bytes. On incompressible input the overhead is a few bytes.
 func CompressBytes(src []byte) ([]byte, error) {
 	lz := LZCompress(src)
-	syms := make([]uint32, len(lz))
+	syms := getU32s(len(lz))
 	for i, b := range lz {
 		syms[i] = uint32(b)
 	}
-	return HuffmanEncode(syms, 256)
+	putBytes(lz)
+	blob, err := HuffmanEncode(syms, 256)
+	putU32s(syms)
+	return blob, err
 }
 
 // DecompressBytes reverses CompressBytes.

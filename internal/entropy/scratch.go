@@ -1,0 +1,105 @@
+package entropy
+
+import "sync"
+
+// Scratch pools for the hot encode path. A training sweep runs the full
+// compressor pipeline dozens of times per field; recycling the frequency
+// table, bit-stream payload and symbol buffers across runs removes the
+// allocations that otherwise dominate sweep GC pressure. Buffers handed out
+// here are either zeroed on get (getInts) or fully overwritten by their only
+// consumer before any read, so recycling never leaks stale state.
+
+var (
+	bytePool  = sync.Pool{New: func() any { return new([]byte) }}
+	intPool   = sync.Pool{New: func() any { return new([]int) }}
+	int32Pool = sync.Pool{New: func() any { return new([]int32) }}
+	u32Pool   = sync.Pool{New: func() any { return new([]uint32) }}
+	codePool  = sync.Pool{New: func() any { return new([]huffCode) }}
+)
+
+// getBytes returns an empty byte slice with recycled capacity.
+func getBytes() []byte {
+	p := bytePool.Get().(*[]byte)
+	return (*p)[:0]
+}
+
+func putBytes(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bytePool.Put(&b)
+}
+
+// getInts returns a zeroed int slice of length n.
+func getInts(n int) []int {
+	p := intPool.Get().(*[]int)
+	s := *p
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func putInts(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	intPool.Put(&s)
+}
+
+// getInt32s returns an int32 slice of length n. Contents are unspecified —
+// the caller must initialise every entry it reads.
+func getInt32s(n int) []int32 {
+	p := int32Pool.Get().(*[]int32)
+	s := *p
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func putInt32s(s []int32) {
+	if cap(s) == 0 {
+		return
+	}
+	int32Pool.Put(&s)
+}
+
+// getU32s returns a uint32 slice of length n. Contents are unspecified.
+func getU32s(n int) []uint32 {
+	p := u32Pool.Get().(*[]uint32)
+	s := *p
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func putU32s(s []uint32) {
+	if cap(s) == 0 {
+		return
+	}
+	u32Pool.Put(&s)
+}
+
+// getCodes returns a huffCode slice of length n. Entries for symbols absent
+// from the current alphabet may hold stale codes; encoders only index the
+// table with symbols whose frequency is non-zero, which always have a
+// freshly-assigned code.
+func getCodes(n int) []huffCode {
+	p := codePool.Get().(*[]huffCode)
+	s := *p
+	if cap(s) < n {
+		return make([]huffCode, n)
+	}
+	return s[:n]
+}
+
+func putCodes(s []huffCode) {
+	if cap(s) == 0 {
+		return
+	}
+	codePool.Put(&s)
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/fpzip"
 	"github.com/fxrz-go/fxrz/internal/grid"
 	"github.com/fxrz-go/fxrz/internal/mgard"
+	"github.com/fxrz-go/fxrz/internal/pool"
 	"github.com/fxrz-go/fxrz/internal/sz"
 	"github.com/fxrz-go/fxrz/internal/zfp"
 )
@@ -62,6 +63,9 @@ type Scale struct {
 	TCRs int
 	// FRaZIters are the baseline iteration caps (paper: 6 and 15).
 	FRaZIters []int
+	// Parallelism bounds the worker pool for sweeps and analysis (0 = all
+	// cores, 1 = serial; see core.Config.Parallelism).
+	Parallelism int
 }
 
 // Tiny is the bench/test preset: small enough for CI, large enough that
@@ -146,7 +150,7 @@ func (s *Session) Curves(app, comp string) (map[string]*core.Curve, error) {
 	cs := make(map[string]*core.Curve, len(fields))
 	for _, f := range fields {
 		knobs := core.SweepKnobs(c.Axis(), f, cfg.StationaryPoints, cfg.RelKnobMin, cfg.RelKnobMax)
-		curve, err := core.BuildCurve(c, f, knobs)
+		curve, err := core.BuildCurveParallel(c, f, knobs, pool.Workers(cfg.Parallelism))
 		if err != nil {
 			return nil, fmt.Errorf("exp: sweeping %s for %s: %w", f.Name, comp, err)
 		}
@@ -164,6 +168,7 @@ func (s *Session) Config() core.Config {
 	cfg.StationaryPoints = s.S.Stationary
 	cfg.AugmentPerField = s.S.AugmentPerField
 	cfg.Trees = s.S.Trees
+	cfg.Parallelism = s.S.Parallelism
 	return cfg
 }
 
@@ -321,7 +326,7 @@ func (s *Session) TestCurve(comp string, f *grid.Field) (*core.Curve, error) {
 	}
 	cfg := s.Config()
 	knobs := core.SweepKnobs(c.Axis(), f, cfg.StationaryPoints, cfg.RelKnobMin, cfg.RelKnobMax)
-	curve, err := core.BuildCurve(c, f, knobs)
+	curve, err := core.BuildCurveParallel(c, f, knobs, pool.Workers(cfg.Parallelism))
 	if err != nil {
 		return nil, fmt.Errorf("exp: ground-truth sweep of %s for %s: %w", f.Name, comp, err)
 	}

@@ -1,0 +1,120 @@
+// Package pool provides the bounded worker pool behind FXRZ's parallel
+// training pipeline: stationary-point sweeps, feature extraction and the
+// Compressibility-Adjustment block scan all fan out through it.
+//
+// The pool is deliberately tiny and deterministic-by-construction. Tasks
+// are identified by a dense index; workers claim indexes in increasing
+// order from a shared atomic counter and write results into
+// index-addressed slots owned by the caller. Because no result flows
+// through a shared accumulator, the assembled output is identical at any
+// worker count — the property core.Train relies on for bit-identical
+// models regardless of Config.Parallelism.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: values > 0 are returned unchanged,
+// anything else defaults to runtime.GOMAXPROCS(0) (all available cores).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run invokes fn(i) for every i in [0, n) using at most `workers`
+// concurrent goroutines and returns when every invocation has completed.
+// workers is clamped to n; workers <= 1 (or n <= 1) runs every task
+// serially on the calling goroutine, spawning nothing. fn must be safe for
+// concurrent invocation when workers > 1 and should write its result into
+// an index-addressed slot to keep output ordering deterministic.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunErr is Run for fallible tasks. It returns the error of the
+// lowest-indexed failing task, or nil if every task succeeds.
+//
+// The returned error is deterministic at any worker count: tasks are
+// claimed in index order, so by the time any task fails, every task with a
+// smaller index has already been claimed and runs to completion — the
+// smallest genuinely-failing index is therefore always recorded. Tasks not
+// yet claimed when a failure is recorded are skipped; they can only carry
+// indexes above an already-recorded failure.
+func RunErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

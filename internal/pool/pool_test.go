@@ -1,0 +1,93 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Errorf("Workers(5) = %d", Workers(5))
+	}
+	if Workers(0) < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", Workers(0))
+	}
+	if Workers(-3) != Workers(0) {
+		t.Errorf("Workers(-3) = %d, want %d", Workers(-3), Workers(0))
+	}
+}
+
+func TestRunCoversEveryIndexAtAnyWorkerCount(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{0, 1, 2, 4, 7, n, 3 * n} {
+		out := make([]int, n)
+		Run(workers, n, func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	called := false
+	Run(4, 0, func(int) { called = true })
+	Run(4, -1, func(int) { called = true })
+	if called {
+		t.Error("fn called for n <= 0")
+	}
+}
+
+func TestRunErrReturnsLowestIndexFailure(t *testing.T) {
+	// Indexes 3 and 7 fail; the reported error must be index 3's at every
+	// worker count (determinism contract).
+	for _, workers := range []int{1, 2, 4, 8} {
+		var ran atomic.Int64
+		err := RunErr(workers, 10, func(i int) error {
+			ran.Add(1)
+			if i == 3 || i == 7 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Errorf("workers=%d: err = %v, want task 3's", workers, err)
+		}
+		if ran.Load() < 4 {
+			t.Errorf("workers=%d: only %d tasks ran before the failure was reported", workers, ran.Load())
+		}
+	}
+}
+
+func TestRunErrNilOnSuccess(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		if err := RunErr(workers, 25, func(int) error { ran.Add(1); return nil }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 25 {
+			t.Errorf("workers=%d: ran %d/25", workers, ran.Load())
+		}
+	}
+}
+
+func TestRunErrSerialStopsEarly(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := RunErr(1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 3 {
+		t.Errorf("serial path ran %d tasks after failure, want 3", ran)
+	}
+}

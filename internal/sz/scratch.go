@@ -1,0 +1,67 @@
+package sz
+
+import "sync"
+
+// Scratch pools for the quantization buffers of both SZ codecs. A stationary
+// sweep compresses the same field dozens of times; the code, reconstruction
+// and byte-serialisation buffers are the three large per-run allocations, and
+// all three are fully overwritten before any read (the Lorenzo predictor only
+// consults reconstructed values at indices already written this run), so
+// recycling them is safe without zeroing.
+
+var (
+	u16Pool  = sync.Pool{New: func() any { return new([]uint16) }}
+	f32Pool  = sync.Pool{New: func() any { return new([]float32) }}
+	bytePool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// getU16s returns a uint16 slice of length n with unspecified contents.
+func getU16s(n int) []uint16 {
+	p := u16Pool.Get().(*[]uint16)
+	s := *p
+	if cap(s) < n {
+		return make([]uint16, n)
+	}
+	return s[:n]
+}
+
+func putU16s(s []uint16) {
+	if cap(s) == 0 {
+		return
+	}
+	u16Pool.Put(&s)
+}
+
+// getF32s returns a float32 slice of length n with unspecified contents.
+func getF32s(n int) []float32 {
+	p := f32Pool.Get().(*[]float32)
+	s := *p
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
+}
+
+func putF32s(s []float32) {
+	if cap(s) == 0 {
+		return
+	}
+	f32Pool.Put(&s)
+}
+
+// getScratchBytes returns a byte slice of length n with unspecified contents.
+func getScratchBytes(n int) []byte {
+	p := bytePool.Get().(*[]byte)
+	s := *p
+	if cap(s) < n {
+		return make([]byte, n)
+	}
+	return s[:n]
+}
+
+func putScratchBytes(s []byte) {
+	if cap(s) == 0 {
+		return
+	}
+	bytePool.Put(&s)
+}

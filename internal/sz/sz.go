@@ -48,9 +48,11 @@ func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
 		return nil, fmt.Errorf("sz: error bound must be a positive finite number, got %v", eb)
 	}
 	n := f.Size()
-	codes := make([]uint16, n)
+	codes := getU16s(n)
+	defer putU16s(codes)
 	var raw []float32
-	recon := make([]float32, n)
+	recon := getF32s(n)
+	defer putF32s(recon)
 	lor := newLorenzo(f.Dims)
 
 	twoEB := 2 * eb
@@ -80,11 +82,12 @@ func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
 		lor.advance()
 	}
 
-	codeBytes := make([]byte, 2*n)
+	codeBytes := getScratchBytes(2 * n)
 	for i, c := range codes {
 		binary.LittleEndian.PutUint16(codeBytes[2*i:], c)
 	}
 	packedCodes, err := entropy.CompressBytes(codeBytes)
+	putScratchBytes(codeBytes)
 	if err != nil {
 		return nil, fmt.Errorf("sz: encode codes: %w", err)
 	}

@@ -42,8 +42,10 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 		return nil, fmt.Errorf("sz2: error bound must be a positive finite number, got %v", eb)
 	}
 	n := f.Size()
-	recon := make([]float32, n)
-	codes := make([]uint16, 0, n)
+	recon := getF32s(n)
+	defer putF32s(recon)
+	codes := getU16s(n)[:0]
+	defer func() { putU16s(codes) }()
 	var raw []float32
 	var modeBits []byte
 	var coeffCodes []byte
@@ -120,11 +122,12 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 		})
 	})
 
-	codeBytes := make([]byte, 2*len(codes))
+	codeBytes := getScratchBytes(2 * len(codes))
 	for i, c := range codes {
 		binary.LittleEndian.PutUint16(codeBytes[2*i:], c)
 	}
 	packedCodes, err := entropy.CompressBytes(codeBytes)
+	putScratchBytes(codeBytes)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: encode codes: %w", err)
 	}
