@@ -1,8 +1,10 @@
 # Verification tiers. tier-1 (verify) is the PR gate; tier-2 (verify-race)
 # additionally vets the code and runs the full suite under the race detector,
 # which must stay clean now that training fans out across a worker pool.
+# The CI workflow (.github/workflows/ci.yml) runs lint, verify, verify-race,
+# cover and the bench-smoke/benchguard pair on every push and pull request.
 
-.PHONY: verify verify-race bench-train
+.PHONY: verify verify-race lint cover bench-train bench-smoke benchguard
 
 verify:
 	go build ./... && go test ./...
@@ -10,6 +12,33 @@ verify:
 verify-race:
 	go vet ./... && go test -race ./...
 
+# Static gate: vet plus gofmt cleanliness (gofmt -l must print nothing).
+lint:
+	go vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+# Coverage profile for the whole module, plus a hard floor of 85% on
+# internal/obs — the observability layer is what CI gates on, so its own
+# tests must not rot.
+cover:
+	go test -coverprofile=coverage.out ./...
+	@go tool cover -func=coverage.out | tail -n 1
+	go test -coverprofile=coverage.obs.out ./internal/obs
+	@pct="$$(go tool cover -func=coverage.obs.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
+	echo "internal/obs coverage: $$pct% (floor: 85%)"; \
+	awk -v p="$$pct" 'BEGIN { exit !(p+0 >= 85) }'
+
 # Re-record the BENCH_train.json trajectory (run on a multi-core machine).
 bench-train:
 	go test -run xxx -bench BenchmarkTrainParallel -benchtime 3x .
+
+# One-iteration benchmark pass: proves the benchmark still runs, without
+# trusting the timings of a shared CI box.
+bench-smoke:
+	go test -run '^$$' -bench BenchmarkTrainParallel -benchtime 1x .
+
+# Validate the recorded baseline file stays machine-readable.
+benchguard:
+	go run ./cmd/benchguard -file BENCH_train.json

@@ -1,0 +1,88 @@
+// Command benchguard validates the recorded benchmark baseline
+// (BENCH_train.json) so the performance trajectory stays machine-readable
+// across PRs: CI fails when the file is missing, is not valid JSON, or has
+// dropped the fields the trajectory tooling depends on.
+//
+//	benchguard -file BENCH_train.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// baseline mirrors the schema of BENCH_train.json. Fields beyond these may
+// come and go (runner notes, per-run extras); the ones here are load-bearing.
+type baseline struct {
+	Benchmark string   `json:"benchmark"`
+	Date      string   `json:"date"`
+	Field     string   `json:"field"`
+	Results   []result `json:"results"`
+}
+
+type result struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	SweepS  float64 `json:"sweep_s"`
+}
+
+// validate checks one recorded baseline blob.
+func validate(raw []byte) error {
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if b.Benchmark == "" {
+		return fmt.Errorf("missing required field %q", "benchmark")
+	}
+	if b.Date == "" {
+		return fmt.Errorf("missing required field %q", "date")
+	}
+	if _, err := time.Parse("2006-01-02", b.Date); err != nil {
+		return fmt.Errorf("date %q is not YYYY-MM-DD: %w", b.Date, err)
+	}
+	if b.Field == "" {
+		return fmt.Errorf("missing required field %q", "field")
+	}
+	if len(b.Results) == 0 {
+		return fmt.Errorf("results is empty: the baseline must record at least one worker width")
+	}
+	seen := make(map[int]bool, len(b.Results))
+	for i, r := range b.Results {
+		if r.Workers <= 0 {
+			return fmt.Errorf("results[%d]: workers must be > 0, got %d", i, r.Workers)
+		}
+		if seen[r.Workers] {
+			return fmt.Errorf("results[%d]: duplicate entry for workers=%d", i, r.Workers)
+		}
+		seen[r.Workers] = true
+		if !(r.NsPerOp > 0) {
+			return fmt.Errorf("results[%d] (workers=%d): ns_per_op must be > 0, got %v", i, r.Workers, r.NsPerOp)
+		}
+		if !(r.SweepS > 0) {
+			return fmt.Errorf("results[%d] (workers=%d): sweep_s must be > 0, got %v", i, r.Workers, r.SweepS)
+		}
+	}
+	return nil
+}
+
+func main() {
+	file := flag.String("file", "BENCH_train.json", "recorded benchmark baseline to validate")
+	flag.Parse()
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	if err := validate(raw); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *file, err)
+		os.Exit(1)
+	}
+	var b baseline
+	_ = json.Unmarshal(raw, &b) // validated above
+	fmt.Printf("benchguard: %s ok (%s, %d worker widths, recorded %s)\n",
+		*file, b.Benchmark, len(b.Results), b.Date)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRecordedBaselineIsValid(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_train.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(raw); err != nil {
+		t.Errorf("recorded BENCH_train.json rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformedBaselines(t *testing.T) {
+	cases := []struct {
+		name, blob, wantErr string
+	}{
+		{"not json", "nope", "not valid JSON"},
+		{"empty object", "{}", `missing required field "benchmark"`},
+		{"missing date", `{"benchmark":"B","field":"f","results":[{"workers":1,"ns_per_op":1,"sweep_s":1}]}`, `missing required field "date"`},
+		{"bad date", `{"benchmark":"B","date":"05-08-2026","field":"f","results":[{"workers":1,"ns_per_op":1,"sweep_s":1}]}`, "not YYYY-MM-DD"},
+		{"missing field", `{"benchmark":"B","date":"2026-08-05","results":[{"workers":1,"ns_per_op":1,"sweep_s":1}]}`, `missing required field "field"`},
+		{"no results", `{"benchmark":"B","date":"2026-08-05","field":"f","results":[]}`, "results is empty"},
+		{"zero workers", `{"benchmark":"B","date":"2026-08-05","field":"f","results":[{"workers":0,"ns_per_op":1,"sweep_s":1}]}`, "workers must be > 0"},
+		{"duplicate workers", `{"benchmark":"B","date":"2026-08-05","field":"f","results":[{"workers":2,"ns_per_op":1,"sweep_s":1},{"workers":2,"ns_per_op":1,"sweep_s":1}]}`, "duplicate entry"},
+		{"zero ns_per_op", `{"benchmark":"B","date":"2026-08-05","field":"f","results":[{"workers":1,"ns_per_op":0,"sweep_s":1}]}`, "ns_per_op must be > 0"},
+		{"negative sweep", `{"benchmark":"B","date":"2026-08-05","field":"f","results":[{"workers":1,"ns_per_op":1,"sweep_s":-3}]}`, "sweep_s must be > 0"},
+	}
+	for _, tc := range cases {
+		err := validate([]byte(tc.blob))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateAcceptsMinimalBaseline(t *testing.T) {
+	blob := `{
+	  "benchmark": "BenchmarkTrainParallel",
+	  "date": "2026-08-05",
+	  "field": "nyx baryon_density",
+	  "results": [
+	    {"workers": 1, "ns_per_op": 3e8, "sweep_s": 0.3},
+	    {"workers": 4, "ns_per_op": 1e8, "sweep_s": 0.1}
+	  ]
+	}`
+	if err := validate([]byte(blob)); err != nil {
+		t.Errorf("minimal baseline rejected: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/fxrz-go/fxrz/internal/exp"
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,10 @@ func main() {
 		par    = flag.Int("parallelism", 0, "worker pool size for sweeps and analysis (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "expbench: -parallelism must be >= 0 (0 = all cores, 1 = serial), got %d\n", *par)
+		os.Exit(2)
+	}
 	if err := run(*which, *scale, *maxTF, *noFRaZ, *comps, *tcrs, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "expbench:", err)
 		os.Exit(1)
@@ -56,6 +61,9 @@ func run(which, scaleName string, maxTestFields int, noFRaZ bool, compsFlag stri
 	if compsFlag != "" {
 		comps = strings.Split(compsFlag, ",")
 	}
+	// Record per-stage timings for the whole session; the table printed at
+	// the end shows where the experiment wall time went.
+	obs.Enable()
 	s := exp.NewSession(scale)
 	ids := strings.Split(which, ",")
 	if which == "all" {
@@ -205,6 +213,9 @@ func run(which, scaleName string, maxTestFields int, noFRaZ bool, compsFlag stri
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Printf("=== %s (scale %s, %v) ===\n%s\n", id, scale.Name, time.Since(start).Round(time.Millisecond), out)
+	}
+	if table := obs.TakeSnapshot().TimingTable(); table != "" {
+		fmt.Printf("=== per-stage timings (session total) ===\n%s", table)
 	}
 	return nil
 }

@@ -19,6 +19,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof flag)
 	"os"
 	"strings"
 	"time"
@@ -26,6 +29,7 @@ import (
 	fxrz "github.com/fxrz-go/fxrz"
 	"github.com/fxrz-go/fxrz/archive"
 	"github.com/fxrz-go/fxrz/internal/datagen"
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 func main() {
@@ -77,6 +81,61 @@ func usage() {
   bench     measure codec throughput and ratio on a field
   archive   compress many fields toward a target ratio into one archive
   extract   list or extract members of an archive`)
+}
+
+// obsOpts carries the observability flags shared by the heavy subcommands.
+type obsOpts struct {
+	jsonPath  string
+	pprofAddr string
+}
+
+// addObsFlags registers -obs-json and -pprof on a subcommand's flag set.
+func addObsFlags(fs *flag.FlagSet) *obsOpts {
+	o := &obsOpts{}
+	fs.StringVar(&o.jsonPath, "obs-json", "", "write an observability snapshot (JSON) to this file on exit")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	return o
+}
+
+// start enables recording when either flag was given and brings up the
+// pprof/expvar endpoint. With neither flag the no-op recorder stays
+// installed and the run pays nothing for the instrumentation.
+func (o *obsOpts) start() error {
+	if o.jsonPath == "" && o.pprofAddr == "" {
+		return nil
+	}
+	obs.Enable()
+	obs.Publish()
+	if o.pprofAddr != "" {
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "serving pprof on http://%s/debug/pprof/ and expvar on /debug/vars\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	return nil
+}
+
+// finish dumps the snapshot the -obs-json flag asked for.
+func (o *obsOpts) finish() error {
+	if o.jsonPath == "" {
+		return nil
+	}
+	if err := obs.TakeSnapshot().WriteJSONFile(o.jsonPath); err != nil {
+		return fmt.Errorf("obs-json: %w", err)
+	}
+	return nil
+}
+
+// checkParallelism rejects negative worker-pool sizes at flag-parse time:
+// pool.Workers would silently treat them as "all cores", which is never what
+// a negative value meant.
+func checkParallelism(cmd string, p int) error {
+	if p < 0 {
+		return fmt.Errorf("%s: -parallelism must be >= 0 (0 = all cores, 1 = serial), got %d", cmd, p)
+	}
+	return nil
 }
 
 func cmdGen(args []string) error {
@@ -143,9 +202,16 @@ func cmdTrain(args []string) error {
 	out := fs.String("o", "", "output model path (required)")
 	stationary := fs.Int("stationary", 25, "stationary points per training field")
 	parallelism := fs.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := checkParallelism("train", *parallelism); err != nil {
+		return err
+	}
 	if *out == "" {
 		return fmt.Errorf("train: -o is required")
+	}
+	if err := obsf.start(); err != nil {
+		return err
 	}
 	c, err := fxrz.ByName(*cname)
 	if err != nil {
@@ -173,7 +239,7 @@ func cmdTrain(args []string) error {
 	st := fw.Stats()
 	fmt.Printf("trained %s model on %d fields in %v (%d samples) -> %s\n",
 		*cname, st.FieldsTrained, st.Total().Round(1e6), st.Samples, *out)
-	return nil
+	return obsf.finish()
 }
 
 func cmdEstimate(args []string, pack bool) error {
@@ -190,9 +256,16 @@ func cmdEstimate(args []string, pack bool) error {
 	out := fs.String("o", "", "output stream path (pack only)")
 	stationary := fs.Int("stationary", 25, "stationary points per training field")
 	parallelism := fs.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := checkParallelism(name, *parallelism); err != nil {
+		return err
+	}
 	if *target <= 0 || *in == "" {
 		return fmt.Errorf("%s: -target and -in are required", name)
+	}
+	if err := obsf.start(); err != nil {
+		return err
 	}
 	f, err := readField(*in)
 	if err != nil {
@@ -240,7 +313,7 @@ func cmdEstimate(args []string, pack bool) error {
 		}
 		fmt.Printf("estimated knob: %g (analysis %v, ACR %.2f, R %.3f, extrapolating=%v)\n",
 			est.Knob, est.AnalysisTime().Round(1e3), est.AdjustedRatio, est.NonConstantR, est.Extrapolating)
-		return nil
+		return obsf.finish()
 	}
 	if *out == "" {
 		return fmt.Errorf("pack: -o is required")
@@ -255,7 +328,7 @@ func cmdEstimate(args []string, pack bool) error {
 	mcr := fxrz.Ratio(f, blob)
 	fmt.Printf("packed %s -> %s: knob %g, target %.1f, achieved %.1f (err %.1f%%)\n",
 		*in, *out, est.Knob, *target, mcr, 100*math.Abs(mcr-*target)/(*target))
-	return nil
+	return obsf.finish()
 }
 
 func cmdUnpack(args []string) error {
@@ -287,9 +360,13 @@ func cmdFRaZ(args []string) error {
 	target := fs.Float64("target", 0, "target ratio (required)")
 	iters := fs.Int("iters", 15, "max iterations per bin")
 	in := fs.String("in", "", "input field file (required)")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	if *target <= 0 || *in == "" {
 		return fmt.Errorf("fraz: -target and -in are required")
+	}
+	if err := obsf.start(); err != nil {
+		return err
 	}
 	c, err := fxrz.ByName(*cname)
 	if err != nil {
@@ -305,16 +382,20 @@ func cmdFRaZ(args []string) error {
 	}
 	fmt.Printf("FRaZ: knob %g achieves %.1f (target %.1f) after %d compressor runs in %v\n",
 		res.Knob, res.AchievedRatio, *target, res.CompressorRuns, res.SearchTime.Round(1e6))
-	return nil
+	return obsf.finish()
 }
 
 func cmdFeatures(args []string) error {
 	fs := flag.NewFlagSet("features", flag.ExitOnError)
 	in := fs.String("in", "", "input field file (required)")
 	stride := fs.Int("stride", 4, "sampling stride")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("features: -in is required")
+	}
+	if err := obsf.start(); err != nil {
+		return err
 	}
 	f, err := readField(*in)
 	if err != nil {
@@ -325,7 +406,7 @@ func cmdFeatures(args []string) error {
 	fmt.Printf("  ValueRange   %g\n  MeanValue    %g\n  MND          %g\n  MLD          %g\n  MSD          %g\n",
 		ft.ValueRange, ft.MeanValue, ft.MND, ft.MLD, ft.MSD)
 	fmt.Printf("  gradients    mean %g  min %g  max %g\n", ft.MeanGradient, ft.MinGradient, ft.MaxGradient)
-	return nil
+	return obsf.finish()
 }
 
 // writeField stores a field in the fxrzfield container format.
@@ -398,9 +479,13 @@ func cmdArchive(args []string) error {
 	target := fs.Float64("target", 0, "campaign target compression ratio (required)")
 	in := fs.String("in", "", "comma-separated field files (required)")
 	out := fs.String("o", "", "output archive path (required)")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	if *model == "" || *target <= 0 || *in == "" || *out == "" {
 		return fmt.Errorf("archive: -model, -target, -in and -o are required")
+	}
+	if err := obsf.start(); err != nil {
+		return err
 	}
 	mr, err := os.Open(*model)
 	if err != nil {
@@ -450,7 +535,7 @@ func cmdArchive(args []string) error {
 	}
 	fmt.Printf("archived %.2f MB into %.2f MB (overall ratio %.1f) -> %s\n",
 		float64(raw)/1e6, float64(packed)/1e6, float64(raw)/float64(packed), *out)
-	return nil
+	return obsf.finish()
 }
 
 // cmdExtract lists or extracts archive members.
@@ -502,9 +587,13 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	in := fs.String("in", "", "input field file (required)")
 	rel := fs.Float64("rel", 1e-3, "error bound relative to the field's value range")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("bench: -in is required")
+	}
+	if err := obsf.start(); err != nil {
+		return err
 	}
 	f, err := readField(*in)
 	if err != nil {
@@ -536,5 +625,5 @@ func cmdBench(args []string) error {
 		fmt.Printf("  %-6s ratio %8.2f   compress %7.1f MB/s   decompress %7.1f MB/s\n",
 			name, fxrz.Ratio(f, blob), mbs(ct), mbs(dt))
 	}
-	return nil
+	return obsf.finish()
 }

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 func TestFieldFileRoundTrip(t *testing.T) {
@@ -64,4 +68,78 @@ func TestReadFieldRejectsBadFiles(t *testing.T) {
 
 func writeBytes(path string, b []byte) error {
 	return os.WriteFile(path, b, 0o644)
+}
+
+// TestNegativeParallelismRejected pins the flag-validation fix: pool.Workers
+// treats any non-positive value as "all cores", so a negative -parallelism
+// must be rejected at flag-parse time instead of silently maxing out.
+func TestNegativeParallelismRejected(t *testing.T) {
+	if err := cmdTrain([]string{"-parallelism", "-2"}); err == nil || !strings.Contains(err.Error(), "-parallelism must be >= 0") {
+		t.Errorf("train: err = %v, want -parallelism validation error", err)
+	}
+	for _, pack := range []bool{false, true} {
+		err := cmdEstimate([]string{"-parallelism", "-1"}, pack)
+		if err == nil || !strings.Contains(err.Error(), "-parallelism must be >= 0") {
+			t.Errorf("est(pack=%v): err = %v, want -parallelism validation error", pack, err)
+		}
+	}
+	if err := checkParallelism("x", 0); err != nil {
+		t.Errorf("parallelism 0 rejected: %v", err)
+	}
+	if err := checkParallelism("x", 4); err != nil {
+		t.Errorf("parallelism 4 rejected: %v", err)
+	}
+}
+
+// TestTrainObsJSONSnapshot drives `fxrz train -obs-json` end to end on a
+// small synthetic suite and checks the snapshot carries the per-stage span
+// timings and compressor run counts the README documents.
+func TestTrainObsJSONSnapshot(t *testing.T) {
+	defer obs.Disable() // -obs-json enables the process-global recorder
+	dir := t.TempDir()
+	var train []string
+	for fi, phase := range []float64{3, 8} {
+		f, err := fxrz.NewField(fmt.Sprintf("train-%d", fi), 16, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range f.Data {
+			f.Data[i] = float32(math.Sin(phase * float64(i) / 100))
+		}
+		p := filepath.Join(dir, f.Name+".f32")
+		if err := writeField(p, f); err != nil {
+			t.Fatal(err)
+		}
+		train = append(train, p)
+	}
+	model := filepath.Join(dir, "model.fxrz")
+	snap := filepath.Join(dir, "obs.json")
+	err := cmdTrain([]string{
+		"-train", strings.Join(train, ","),
+		"-o", model,
+		"-stationary", "4",
+		"-obs-json", snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got obs.Snapshot
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	for _, span := range []string{"train/total", "train/sweep", "train/analysis", "features/extract", "ca/scan"} {
+		if got.Spans[span].Count == 0 {
+			t.Errorf("snapshot missing span %q", span)
+		}
+	}
+	if got.Counters["compressor_runs/sz"] < 8 { // 2 fields x 4 stationary points
+		t.Errorf("compressor_runs/sz = %d, want >= 8", got.Counters["compressor_runs/sz"])
+	}
+	if got.Counters["train/fields"] != 2 {
+		t.Errorf("train/fields = %d, want 2", got.Counters["train/fields"])
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
 	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
@@ -34,6 +35,7 @@ func NonConstantRatio(f *grid.Field, blockSide int, lambda float64) float64 {
 // the threshold comes from a serial mean pass, and each block contributes an
 // order-independent boolean to the count.
 func NonConstantRatioParallel(f *grid.Field, blockSide int, lambda float64, workers int) float64 {
+	defer obs.Span("ca/scan")()
 	if blockSide <= 0 {
 		blockSide = DefaultBlockSide
 	}

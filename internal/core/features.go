@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
 	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
@@ -82,6 +83,7 @@ func ExtractFeatures(f *grid.Field, stride int) Features {
 // goroutine; the result is bit-identical at every worker count (the field is
 // reduced in fixed-size chunks whose partials combine in chunk order).
 func ExtractFeaturesParallel(f *grid.Field, stride, workers int) Features {
+	defer obs.Span("features/extract")()
 	// The stride is applied as-is even when it degenerates small grids: a
 	// framework must extract features identically for every field it sees
 	// (training and inference), and a per-field adaptive stride would make

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
 	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
@@ -55,6 +56,7 @@ func (fw *Framework) EstimateConfig(f *grid.Field, targetRatio float64) (Estimat
 	if !(targetRatio > 0) || math.IsInf(targetRatio, 0) {
 		return Estimate{}, fmt.Errorf("core: target ratio must be a positive finite number, got %v", targetRatio)
 	}
+	defer obs.Span("infer/estimate")()
 	var est Estimate
 	workers := pool.Workers(fw.cfg.Parallelism)
 

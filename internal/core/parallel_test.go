@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -8,12 +10,18 @@ import (
 	"testing/quick"
 
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/ml"
+	"github.com/fxrz-go/fxrz/internal/obs"
 	"github.com/fxrz-go/fxrz/internal/sz"
 )
 
 // TestTrainParallelismDeterminism enforces the tentpole contract: same seed +
 // same fields must yield bit-identical frameworks at Parallelism 1, 2 and
-// NumCPU — identical sample counts, ratio hulls and model predictions.
+// NumCPU — identical sample counts, ratio hulls, model predictions and
+// serialized model bytes. The serial baseline runs with obs recording
+// disabled and every other run with it enabled, so the test also proves the
+// observability layer cannot perturb training (counters are observational
+// only and excluded from model serialization).
 func TestTrainParallelismDeterminism(t *testing.T) {
 	fields := []*grid.Field{
 		waveField("det-a", 12, 4),
@@ -28,6 +36,7 @@ func TestTrainParallelismDeterminism(t *testing.T) {
 		knob     float64
 		acr      float64
 		nonConst float64
+		modelSum string
 	}
 	run := func(p int) result {
 		cfg := Config{
@@ -47,6 +56,15 @@ func TestTrainParallelismDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Parallelism=%d: estimate: %v", p, err)
 		}
+		// Hash the serialized forest alone: Save also gob-encodes TrainStats,
+		// whose wall-clock durations legitimately differ between runs. The
+		// model bits are the determinism contract — obs counters and timings
+		// must never leak into them.
+		forest, err := fw.model.(*ml.Forest).MarshalBinary()
+		if err != nil {
+			t.Fatalf("Parallelism=%d: marshal forest: %v", p, err)
+		}
+		sum := sha256.Sum256(forest)
 		return result{
 			samples:  fw.Stats().Samples,
 			lo:       lo,
@@ -54,14 +72,34 @@ func TestTrainParallelismDeterminism(t *testing.T) {
 			knob:     est.Knob,
 			acr:      est.AdjustedRatio,
 			nonConst: est.NonConstantR,
+			modelSum: hex.EncodeToString(sum[:]),
 		}
 	}
 
-	want := run(1)
+	obs.Disable()
+	want := run(1) // baseline: serial, recording off
+
+	obs.Enable()
+	defer obs.Disable()
+	if got := run(1); got != want {
+		t.Errorf("obs recording perturbed serial training:\n got %+v\nwant %+v", got, want)
+	}
 	for _, p := range []int{2, runtime.NumCPU()} {
 		if got := run(p); got != want {
 			t.Errorf("Parallelism=%d diverged from serial:\n got %+v\nwant %+v", p, got, want)
 		}
+	}
+
+	// The instrumented runs must have recorded the per-stage spans and
+	// compressor run counts the snapshot schema promises.
+	s := obs.TakeSnapshot()
+	for _, span := range []string{"train/sweep", "train/analysis", "train/assembly", "features/extract", "ca/scan"} {
+		if s.Spans[span].Count == 0 {
+			t.Errorf("span %q not recorded during instrumented training", span)
+		}
+	}
+	if s.Counters["compressor_runs/sz"] == 0 {
+		t.Error("compressor_runs/sz counter not recorded")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/compress"
 	"github.com/fxrz-go/fxrz/internal/grid"
 	"github.com/fxrz-go/fxrz/internal/ml"
+	"github.com/fxrz-go/fxrz/internal/obs"
 	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
@@ -192,16 +193,20 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("core: no training fields")
 	}
+	defer obs.Span("train/total")()
 	cfg = cfg.withDefaults()
 	fw := &Framework{cfg: cfg, axis: c.Axis(), compressor: c.Name()}
 	workers := pool.Workers(cfg.Parallelism)
 	n := len(fields)
+	obs.Add("train/fields", int64(n))
 
 	// Snapshot the cache serially (see the ownership contract above).
+	stopSnapshot := obs.Span("train/snapshot")
 	fieldCurves := make([]*Curve, n)
 	for i, f := range fields {
 		fieldCurves[i] = curves[f.Name]
 	}
+	stopSnapshot()
 
 	// Stage A: per-field analysis. With a single field the pool parallelises
 	// inside the reductions instead of across fields.
@@ -213,6 +218,7 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 	if n == 1 {
 		inner = workers
 	}
+	stopAnalysis := obs.Span("train/analysis")
 	analyses := make([]analysis, n)
 	pool.Run(workers, n, func(i int) {
 		a := analysis{feats: ExtractFeaturesParallel(fields[i], cfg.Stride, inner).Vector(), r: 1}
@@ -221,6 +227,7 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 		}
 		analyses[i] = a
 	})
+	stopAnalysis()
 
 	// Stage B: one flat (field, knob) task list for every uncached field.
 	// RunErr reports the lowest-indexed failure, which is the same error the
@@ -246,6 +253,8 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 	}
 	pts := make([]Stationary, len(tasks))
 	t0 := time.Now()
+	stopSweep := obs.Span("train/sweep")
+	obs.Add("train/sweep_tasks", int64(len(tasks)))
 	err := pool.RunErr(workers, len(tasks), func(ti int) error {
 		t := tasks[ti]
 		f := fields[t.field]
@@ -256,6 +265,7 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 		pts[ti] = Stationary{Knob: t.knob, Ratio: r}
 		return nil
 	})
+	stopSweep()
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +290,7 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 	var y []float64
 	fw.ratioLo, fw.ratioHi = 0, 0
 
+	stopAssembly := obs.Span("train/assembly")
 	t1 := time.Now()
 	for i := range fields {
 		feats := analyses[i].feats
@@ -302,6 +313,7 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 		}
 		fw.stats.FieldsTrained++
 	}
+	stopAssembly()
 	fw.stats.Augmentation = time.Since(t1)
 	fw.stats.Samples = len(X)
 
@@ -317,9 +329,12 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 		return nil, fmt.Errorf("core: unknown model kind %q", cfg.Model)
 	}
 	t2 := time.Now()
+	stopFit := obs.Span("train/fit")
 	if err := model.Fit(X, y); err != nil {
+		stopFit()
 		return nil, fmt.Errorf("core: model fit: %w", err)
 	}
+	stopFit()
 	fw.stats.ModelFit = time.Since(t2)
 	fw.model = model
 	fw.trainX, fw.trainY = X, y

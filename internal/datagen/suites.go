@@ -335,7 +335,6 @@ func addRTMBackground(f *grid.Field) {
 	}
 }
 
-
 // rankine is the normalised Rankine vortex tangential-speed profile: linear
 // growth inside the eyewall radius rm, 1/r decay outside.
 func rankine(r, rm float64) float64 {

@@ -1,6 +1,10 @@
 package entropy
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/fxrz-go/fxrz/internal/obs"
+)
 
 // Scratch pools for the hot encode path. A training sweep runs the full
 // compressor pipeline dozens of times per field; recycling the frequency
@@ -8,6 +12,11 @@ import "sync"
 // allocations that otherwise dominate sweep GC pressure. Buffers handed out
 // here are either zeroed on get (getInts) or fully overwritten by their only
 // consumer before any read, so recycling never leaks stale state.
+//
+// Each get reports a hit (recycled capacity sufficed) or a miss (fresh
+// allocation) to the obs counters entropy/scratch_hit and
+// entropy/scratch_miss, so sweeps can verify the pools actually absorb the
+// steady-state allocation traffic.
 
 var (
 	bytePool  = sync.Pool{New: func() any { return new([]byte) }}
@@ -17,9 +26,19 @@ var (
 	codePool  = sync.Pool{New: func() any { return new([]huffCode) }}
 )
 
+// record bumps the pool hit/miss counters.
+func record(hit bool) {
+	if hit {
+		obs.Inc("entropy/scratch_hit")
+	} else {
+		obs.Inc("entropy/scratch_miss")
+	}
+}
+
 // getBytes returns an empty byte slice with recycled capacity.
 func getBytes() []byte {
 	p := bytePool.Get().(*[]byte)
+	record(cap(*p) > 0)
 	return (*p)[:0]
 }
 
@@ -35,8 +54,10 @@ func getInts(n int) []int {
 	p := intPool.Get().(*[]int)
 	s := *p
 	if cap(s) < n {
+		record(false)
 		return make([]int, n)
 	}
+	record(true)
 	s = s[:n]
 	clear(s)
 	return s
@@ -55,8 +76,10 @@ func getInt32s(n int) []int32 {
 	p := int32Pool.Get().(*[]int32)
 	s := *p
 	if cap(s) < n {
+		record(false)
 		return make([]int32, n)
 	}
+	record(true)
 	return s[:n]
 }
 
@@ -72,8 +95,10 @@ func getU32s(n int) []uint32 {
 	p := u32Pool.Get().(*[]uint32)
 	s := *p
 	if cap(s) < n {
+		record(false)
 		return make([]uint32, n)
 	}
+	record(true)
 	return s[:n]
 }
 
@@ -92,8 +117,10 @@ func getCodes(n int) []huffCode {
 	p := codePool.Get().(*[]huffCode)
 	s := *p
 	if cap(s) < n {
+		record(false)
 		return make([]huffCode, n)
 	}
+	record(true)
 	return s[:n]
 }
 

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SpanStats is the aggregated summary of one timing histogram / span stage.
+// All durations are fractional milliseconds, chosen so snapshots read
+// naturally for stages ranging from sub-millisecond compressor runs to
+// multi-minute sweeps.
+type SpanStats struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	MinMS   float64 `json:"min_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P90MS   float64 `json:"p90_ms"`
+	P99MS   float64 `json:"p99_ms"`
+}
+
+// Snapshot is a point-in-time export of everything the active recorder has
+// aggregated. It marshals directly to the JSON schema documented in the
+// README's Observability section.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Spans    map[string]SpanStats `json:"spans,omitempty"`
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSONFile writes the snapshot to a file (the -obs-json flag target).
+func (s *Snapshot) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TimingTable renders the span stages as a fixed-width table sorted by total
+// wall time (descending), the format cmd/expbench prints after a session.
+// It returns "" when no spans were recorded.
+func (s *Snapshot) TimingTable() string {
+	if len(s.Spans) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(s.Spans))
+	for n := range s.Spans {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := s.Spans[names[i]], s.Spans[names[j]]
+		if a.TotalMS != b.TotalMS {
+			return a.TotalMS > b.TotalMS
+		}
+		return names[i] < names[j]
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %8s %12s %10s %10s %10s\n",
+		"stage", "count", "total_ms", "mean_ms", "p90_ms", "max_ms")
+	for _, n := range names {
+		st := s.Spans[n]
+		fmt.Fprintf(&sb, "%-28s %8d %12.2f %10.3f %10.3f %10.3f\n",
+			n, st.Count, st.TotalMS, st.MeanMS, st.P90MS, st.MaxMS)
+	}
+	return sb.String()
+}
+
+// publishOnce guards the process-global expvar registration (expvar panics
+// on duplicate names).
+var publishOnce sync.Once
+
+// Publish registers the active recorder's snapshot as the expvar variable
+// "fxrz_obs", served on /debug/vars by any HTTP server using the default
+// mux (cmd/fxrz's -pprof flag starts one). Safe to call more than once.
+func Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("fxrz_obs", expvar.Func(func() any { return TakeSnapshot() }))
+	})
+}

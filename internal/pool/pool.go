@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 // Workers resolves a parallelism knob: values > 0 are returned unchanged,
@@ -39,6 +41,8 @@ func Run(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	obs.Inc("pool/runs")
+	obs.Add("pool/tasks", int64(n))
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -79,6 +83,8 @@ func RunErr(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	obs.Inc("pool/runs")
+	obs.Add("pool/tasks", int64(n))
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {

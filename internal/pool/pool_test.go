@@ -3,8 +3,11 @@ package pool
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -71,6 +74,38 @@ func TestRunErrNilOnSuccess(t *testing.T) {
 		if ran.Load() != 25 {
 			t.Errorf("workers=%d: ran %d/25", workers, ran.Load())
 		}
+	}
+}
+
+// TestRunErrDeterministicWithObsEnabled re-runs the lowest-index-error
+// contract at widths 1, 2 and NumCPU with obs recording live, proving the
+// counters bumped inside Run/RunErr cannot change which error wins — and
+// that the pool's throughput counters actually record the traffic.
+func TestRunErrDeterministicWithObsEnabled(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.Reset()
+
+	const n = 24
+	widths := []int{1, 2, runtime.NumCPU()}
+	for _, workers := range widths {
+		err := RunErr(workers, n, func(i int) error {
+			if i == 5 || i == 11 || i == 19 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 5 failed" {
+			t.Errorf("workers=%d: err = %v, want task 5's", workers, err)
+		}
+	}
+
+	s := obs.TakeSnapshot()
+	if got := s.Counters["pool/runs"]; got != int64(len(widths)) {
+		t.Errorf("pool/runs = %d, want %d", got, len(widths))
+	}
+	if got := s.Counters["pool/tasks"]; got != int64(len(widths)*n) {
+		t.Errorf("pool/tasks = %d, want %d", got, len(widths)*n)
 	}
 }
 

@@ -1,6 +1,10 @@
 package sz
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/fxrz-go/fxrz/internal/obs"
+)
 
 // Scratch pools for the quantization buffers of both SZ codecs. A stationary
 // sweep compresses the same field dozens of times; the code, reconstruction
@@ -8,6 +12,10 @@ import "sync"
 // all three are fully overwritten before any read (the Lorenzo predictor only
 // consults reconstructed values at indices already written this run), so
 // recycling them is safe without zeroing.
+//
+// Each get reports a hit or miss to the obs counters sz/scratch_hit and
+// sz/scratch_miss (a miss is a fresh allocation because no recycled buffer
+// was large enough).
 
 var (
 	u16Pool  = sync.Pool{New: func() any { return new([]uint16) }}
@@ -15,13 +23,24 @@ var (
 	bytePool = sync.Pool{New: func() any { return new([]byte) }}
 )
 
+// record bumps the pool hit/miss counters.
+func record(hit bool) {
+	if hit {
+		obs.Inc("sz/scratch_hit")
+	} else {
+		obs.Inc("sz/scratch_miss")
+	}
+}
+
 // getU16s returns a uint16 slice of length n with unspecified contents.
 func getU16s(n int) []uint16 {
 	p := u16Pool.Get().(*[]uint16)
 	s := *p
 	if cap(s) < n {
+		record(false)
 		return make([]uint16, n)
 	}
+	record(true)
 	return s[:n]
 }
 
@@ -37,8 +56,10 @@ func getF32s(n int) []float32 {
 	p := f32Pool.Get().(*[]float32)
 	s := *p
 	if cap(s) < n {
+		record(false)
 		return make([]float32, n)
 	}
+	record(true)
 	return s[:n]
 }
 
@@ -54,8 +75,10 @@ func getScratchBytes(n int) []byte {
 	p := bytePool.Get().(*[]byte)
 	s := *p
 	if cap(s) < n {
+		record(false)
 		return make([]byte, n)
 	}
+	record(true)
 	return s[:n]
 }
 

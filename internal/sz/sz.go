@@ -19,6 +19,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/compress"
 	"github.com/fxrz-go/fxrz/internal/entropy"
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 // quantization alphabet: code 0 escapes to the raw path, codes 1..intervals-1
@@ -47,6 +48,8 @@ func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz: error bound must be a positive finite number, got %v", eb)
 	}
+	defer obs.Span("compress/sz")()
+	obs.Inc("compressor_runs/sz")
 	n := f.Size()
 	codes := getU16s(n)
 	defer putU16s(codes)
@@ -106,6 +109,7 @@ func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
 
 // Decompress implements compress.Compressor.
 func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
+	defer obs.Span("decompress/sz")()
 	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
 	if err != nil {
 		return nil, fmt.Errorf("sz: %w", err)

@@ -8,6 +8,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/compress"
 	"github.com/fxrz-go/fxrz/internal/entropy"
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 // V2 is an SZ2-style compressor (Liang et al., 2018 — the "SZ 2.x" the
@@ -41,6 +42,8 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz2: error bound must be a positive finite number, got %v", eb)
 	}
+	defer obs.Span("compress/sz2")()
+	obs.Inc("compressor_runs/sz2")
 	n := f.Size()
 	recon := getF32s(n)
 	defer putF32s(recon)
@@ -152,6 +155,7 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 
 // Decompress implements compress.Compressor.
 func (*V2) Decompress(blob []byte) (*grid.Field, error) {
+	defer obs.Span("decompress/sz2")()
 	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ2)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: %w", err)

@@ -25,6 +25,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/compress"
 	"github.com/fxrz-go/fxrz/internal/entropy"
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 const (
@@ -55,6 +56,8 @@ func (*Compressor) Compress(f *grid.Field, tol float64) ([]byte, error) {
 	if !(tol > 0) || math.IsInf(tol, 0) {
 		return nil, fmt.Errorf("zfp: tolerance must be a positive finite number, got %v", tol)
 	}
+	defer obs.Span("compress/zfp")()
+	obs.Inc("compressor_runs/zfp")
 	out := compress.AppendHeader(nil, compress.Header{Magic: compress.MagicZFP, Name: f.Name, Dims: f.Dims, Knob: tol})
 	out = append(out, 0) // mode byte: fixed accuracy
 	payload, err := encodeBody(f, minExp(tol), 0)
@@ -66,6 +69,7 @@ func (*Compressor) Compress(f *grid.Field, tol float64) ([]byte, error) {
 
 // Decompress implements compress.Compressor.
 func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
+	defer obs.Span("decompress/zfp")()
 	h, payload, err := compress.ParseHeader(blob, compress.MagicZFP)
 	if err != nil {
 		return nil, fmt.Errorf("zfp: %w", err)
@@ -115,6 +119,8 @@ func (*FixedRate) Compress(f *grid.Field, rate float64) ([]byte, error) {
 	if !(rate > 0) || rate > 64 {
 		return nil, fmt.Errorf("zfp: rate must be in (0, 64], got %v", rate)
 	}
+	defer obs.Span("compress/zfp-rate")()
+	obs.Inc("compressor_runs/zfp-rate")
 	out := compress.AppendHeader(nil, compress.Header{Magic: compress.MagicZFP, Name: f.Name, Dims: f.Dims, Knob: rate})
 	out = append(out, 1) // mode byte: fixed rate
 	payload, err := encodeBody(f, 0, blockBits(rate, foldedNDims(f.Dims)))
