@@ -4,7 +4,7 @@
 # The CI workflow (.github/workflows/ci.yml) runs lint, verify, verify-race,
 # cover and the bench-smoke/benchguard pair on every push and pull request.
 
-.PHONY: verify verify-race lint cover bench-train bench-smoke benchguard
+.PHONY: verify verify-race lint cover bench-train bench-kernels bench-smoke benchguard
 
 verify:
 	go build ./... && go test ./...
@@ -34,11 +34,25 @@ cover:
 bench-train:
 	go test -run xxx -bench BenchmarkTrainParallel -benchtime 3x .
 
-# One-iteration benchmark pass: proves the benchmark still runs, without
-# trusting the timings of a shared CI box.
+# Run the kernel fast-path benchmarks and print old-vs-new deltas, gated
+# against the recorded BENCH_kernels.json: fails if any kernel's measured
+# speedup regressed more than 10% from the recorded one. Run this (and
+# re-record the JSON) after touching any kernel.
+bench-kernels:
+	@out="$$(go test -run '^$$' -bench BenchmarkKernel -benchtime 1s \
+		./internal/sz/ ./internal/zfp/ ./internal/entropy/ ./internal/core/)" \
+		|| { echo "$$out"; exit 1; }; \
+	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_kernels.json
+
+# One-iteration benchmark pass: proves the benchmarks still run, without
+# trusting the timings of a shared CI box (the timing gate is bench-kernels,
+# run on a quiet recording machine).
 bench-smoke:
 	go test -run '^$$' -bench BenchmarkTrainParallel -benchtime 1x .
+	go test -run '^$$' -bench BenchmarkKernel -benchtime 1x \
+		./internal/sz/ ./internal/zfp/ ./internal/entropy/ ./internal/core/
 
-# Validate the recorded baseline file stays machine-readable.
+# Validate the recorded baseline files stay machine-readable and keep their
+# speedup floors.
 benchguard:
-	go run ./cmd/benchguard -file BENCH_train.json
+	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json

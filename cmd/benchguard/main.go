@@ -1,48 +1,117 @@
-// Command benchguard validates the recorded benchmark baseline
-// (BENCH_train.json) so the performance trajectory stays machine-readable
-// across PRs: CI fails when the file is missing, is not valid JSON, or has
-// dropped the fields the trajectory tooling depends on.
+// Command benchguard keeps the recorded benchmark baselines machine-readable
+// and honest across PRs. It validates any number of BENCH_*.json files
+// (schema is detected from content) and fails when a file is missing, is not
+// valid JSON, has dropped a load-bearing field, or — for kernel baselines —
+// no longer meets the speedup floors the fast paths were merged under.
 //
-//	benchguard -file BENCH_train.json
+//	benchguard BENCH_train.json BENCH_kernels.json
+//
+// With -deltas it instead reads `go test -bench` output on stdin, pairs each
+// kernel's before/after variants, prints the old-vs-new table, and (with
+// -baseline) fails when a measured speedup has regressed more than 10%
+// against the recorded one. Speedups are ratios measured within a single run
+// on a single machine, so the comparison is meaningful even when the box
+// differs from the one that recorded the baseline.
+//
+//	go test -run '^$' -bench BenchmarkKernel ./... | benchguard -deltas -baseline BENCH_kernels.json
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
-// baseline mirrors the schema of BENCH_train.json. Fields beyond these may
-// come and go (runner notes, per-run extras); the ones here are load-bearing.
-type baseline struct {
-	Benchmark string   `json:"benchmark"`
-	Date      string   `json:"date"`
-	Field     string   `json:"field"`
-	Results   []result `json:"results"`
+// trainBaseline mirrors the schema of BENCH_train.json.
+type trainBaseline struct {
+	Benchmark string        `json:"benchmark"`
+	Date      string        `json:"date"`
+	Field     string        `json:"field"`
+	Results   []trainResult `json:"results"`
 }
 
-type result struct {
+type trainResult struct {
 	Workers int     `json:"workers"`
 	NsPerOp float64 `json:"ns_per_op"`
 	SweepS  float64 `json:"sweep_s"`
 }
 
-// validate checks one recorded baseline blob.
+// kernelBaseline mirrors the schema of BENCH_kernels.json.
+type kernelBaseline struct {
+	Benchmark string         `json:"benchmark"`
+	Date      string         `json:"date"`
+	Kernels   []kernelResult `json:"kernels"`
+}
+
+type kernelResult struct {
+	Name         string  `json:"name"`
+	Bench        string  `json:"bench"`
+	NsPerElemOld float64 `json:"ns_per_elem_before"`
+	NsPerElemNew float64 `json:"ns_per_elem_after"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// speedupFloors are the merge-time guarantees of the kernel fast paths: the
+// two headline kernels keep their ISSUE-mandated floors, and nothing is
+// allowed to have regressed past 0.9× (a fast path slower than the generic
+// code it replaced would be a bug, not noise).
+var speedupFloors = map[string]float64{
+	"sz_quantize_3d": 1.5,
+	"huffman_decode": 1.3,
+}
+
+const minSpeedup = 0.9
+
+// requiredKernels is the fixed roster a kernel baseline must cover.
+var requiredKernels = []string{"sz_quantize_3d", "zfp_encode_ints", "huffman_decode", "ca_scan"}
+
+// validate checks one recorded baseline blob, dispatching on its schema.
 func validate(raw []byte) error {
-	var b baseline
+	var probe struct {
+		Results []json.RawMessage `json:"results"`
+		Kernels []json.RawMessage `json:"kernels"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	switch {
+	case probe.Kernels != nil:
+		return validateKernels(raw)
+	case probe.Results != nil:
+		return validateTrain(raw)
+	default:
+		return fmt.Errorf("unrecognized schema: neither %q nor %q present", "results", "kernels")
+	}
+}
+
+func validateCommon(benchmark, date string) error {
+	if benchmark == "" {
+		return fmt.Errorf("missing required field %q", "benchmark")
+	}
+	if date == "" {
+		return fmt.Errorf("missing required field %q", "date")
+	}
+	if _, err := time.Parse("2006-01-02", date); err != nil {
+		return fmt.Errorf("date %q is not YYYY-MM-DD: %w", date, err)
+	}
+	return nil
+}
+
+func validateTrain(raw []byte) error {
+	var b trainBaseline
 	if err := json.Unmarshal(raw, &b); err != nil {
 		return fmt.Errorf("not valid JSON: %w", err)
 	}
-	if b.Benchmark == "" {
-		return fmt.Errorf("missing required field %q", "benchmark")
-	}
-	if b.Date == "" {
-		return fmt.Errorf("missing required field %q", "date")
-	}
-	if _, err := time.Parse("2006-01-02", b.Date); err != nil {
-		return fmt.Errorf("date %q is not YYYY-MM-DD: %w", b.Date, err)
+	if err := validateCommon(b.Benchmark, b.Date); err != nil {
+		return err
 	}
 	if b.Field == "" {
 		return fmt.Errorf("missing required field %q", "field")
@@ -69,20 +138,202 @@ func validate(raw []byte) error {
 	return nil
 }
 
+func validateKernels(raw []byte) error {
+	var b kernelBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if err := validateCommon(b.Benchmark, b.Date); err != nil {
+		return err
+	}
+	if len(b.Kernels) == 0 {
+		return fmt.Errorf("kernels is empty")
+	}
+	seen := make(map[string]kernelResult, len(b.Kernels))
+	for i, k := range b.Kernels {
+		if k.Name == "" {
+			return fmt.Errorf("kernels[%d]: missing name", i)
+		}
+		if _, dup := seen[k.Name]; dup {
+			return fmt.Errorf("kernels[%d]: duplicate entry for %q", i, k.Name)
+		}
+		seen[k.Name] = k
+		if !(k.NsPerElemOld > 0) || !(k.NsPerElemNew > 0) {
+			return fmt.Errorf("kernels[%d] (%s): ns_per_elem_before/after must be > 0, got %v/%v",
+				i, k.Name, k.NsPerElemOld, k.NsPerElemNew)
+		}
+		if !(k.Speedup > 0) {
+			return fmt.Errorf("kernels[%d] (%s): speedup must be > 0, got %v", i, k.Name, k.Speedup)
+		}
+		if ratio := k.NsPerElemOld / k.NsPerElemNew; ratio/k.Speedup > 1.01 || k.Speedup/ratio > 1.01 {
+			return fmt.Errorf("kernels[%d] (%s): speedup %.3f inconsistent with before/after ratio %.3f",
+				i, k.Name, k.Speedup, ratio)
+		}
+		floor := speedupFloors[k.Name]
+		if floor < minSpeedup {
+			floor = minSpeedup
+		}
+		if k.Speedup < floor {
+			return fmt.Errorf("kernels[%d] (%s): speedup %.3f below floor %.2f", i, k.Name, k.Speedup, floor)
+		}
+	}
+	for _, name := range requiredKernels {
+		if _, ok := seen[name]; !ok {
+			return fmt.Errorf("missing required kernel %q", name)
+		}
+	}
+	return nil
+}
+
+// benchToKernel maps `go test -bench` names to baseline kernel names, and
+// variant names to the before/after role.
+var benchToKernel = map[string]string{
+	"BenchmarkKernelQuantize3D":    "sz_quantize_3d",
+	"BenchmarkKernelEncodeInts":    "zfp_encode_ints",
+	"BenchmarkKernelHuffmanDecode": "huffman_decode",
+	"BenchmarkKernelCAScan":        "ca_scan",
+}
+
+var variantRole = map[string]string{
+	"generic": "before", "perplane": "before", "bitwise": "before", "odometer": "before",
+	"fast": "after", "transposed": "after", "table": "after",
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLine extracts (kernel, role, ns/elem) from one benchmark output
+// line, or ok=false for lines that are not kernel results.
+func parseBenchLine(line string) (kernel, role string, nsPerElem float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkKernel") {
+		return "", "", 0, false
+	}
+	name := procSuffix.ReplaceAllString(fields[0], "")
+	base, variant, found := strings.Cut(name, "/")
+	if !found {
+		return "", "", 0, false
+	}
+	kernel, okK := benchToKernel[base]
+	role, okV := variantRole[variant]
+	if !okK || !okV {
+		return "", "", 0, false
+	}
+	for i := 2; i < len(fields); i++ {
+		if fields[i] == "ns/elem" {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil || !(v > 0) {
+				return "", "", 0, false
+			}
+			return kernel, role, v, true
+		}
+	}
+	return "", "", 0, false
+}
+
+// runDeltas implements -deltas: pair up variants from bench output, print the
+// old-vs-new table, and gate against the recorded baseline if one was given.
+func runDeltas(in io.Reader, out io.Writer, baselinePath string) error {
+	type pair struct{ before, after float64 }
+	measured := map[string]*pair{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		kernel, role, v, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		p := measured[kernel]
+		if p == nil {
+			p = &pair{}
+			measured[kernel] = p
+		}
+		if role == "before" {
+			p.before = v
+		} else {
+			p.after = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no kernel benchmark lines found on stdin")
+	}
+
+	var recorded map[string]kernelResult
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		if err := validateKernels(raw); err != nil {
+			return fmt.Errorf("%s: %w", baselinePath, err)
+		}
+		var b kernelBaseline
+		_ = json.Unmarshal(raw, &b) // validated above
+		recorded = make(map[string]kernelResult, len(b.Kernels))
+		for _, k := range b.Kernels {
+			recorded[k.Name] = k
+		}
+	}
+
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	fmt.Fprintf(out, "%-16s %12s %12s %9s %s\n", "kernel", "old ns/elem", "new ns/elem", "speedup", "recorded")
+	for _, name := range names {
+		p := measured[name]
+		if p.before == 0 || p.after == 0 {
+			failures = append(failures, fmt.Sprintf("%s: missing %s variant", name,
+				map[bool]string{true: "before", false: "after"}[p.before == 0]))
+			continue
+		}
+		sp := p.before / p.after
+		note := "-"
+		if rec, ok := recorded[name]; ok {
+			note = fmt.Sprintf("%.2fx", rec.Speedup)
+			if sp < minSpeedup*rec.Speedup {
+				failures = append(failures, fmt.Sprintf(
+					"%s: measured speedup %.2fx regressed >10%% against recorded %.2fx", name, sp, rec.Speedup))
+			}
+		}
+		fmt.Fprintf(out, "%-16s %12.2f %12.2f %8.2fx %s\n", name, p.before, p.after, sp, note)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
 func main() {
-	file := flag.String("file", "BENCH_train.json", "recorded benchmark baseline to validate")
+	deltas := flag.Bool("deltas", false, "read `go test -bench` output on stdin and print before/after kernel deltas")
+	baseline := flag.String("baseline", "", "with -deltas: recorded BENCH_kernels.json to gate regressions against")
 	flag.Parse()
-	raw, err := os.ReadFile(*file)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
+
+	if *deltas {
+		if err := runDeltas(os.Stdin, os.Stdout, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no baseline files given (usage: benchguard FILE...)")
 		os.Exit(1)
 	}
-	if err := validate(raw); err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *file, err)
-		os.Exit(1)
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		if err := validate(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", file, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchguard: %s ok\n", file)
 	}
-	var b baseline
-	_ = json.Unmarshal(raw, &b) // validated above
-	fmt.Printf("benchguard: %s ok (%s, %d worker widths, recorded %s)\n",
-		*file, b.Benchmark, len(b.Results), b.Date)
 }

@@ -29,3 +29,33 @@ func BenchmarkNonConstantRatio(b *testing.B) {
 		NonConstantRatio(f, 4, 0.15)
 	}
 }
+
+// BenchmarkKernelCAScan compares the generic odometer block scan against the
+// full-block min/max kernels on the standard bench field (block-aligned, so
+// every block takes the fast path). Recorded in BENCH_kernels.json as
+// ca_scan.
+func BenchmarkKernelCAScan(b *testing.B) {
+	f := compresstest.BenchField()
+	const side = DefaultBlockSide
+	nd := f.NDims()
+	nblocks := make([]int, nd)
+	total := 1
+	for i, d := range f.Dims {
+		nblocks[i] = (d + side - 1) / side
+		total *= nblocks[i]
+	}
+	strides := f.Strides()
+	threshold := DefaultLambda * 2 // any fixed positive threshold works
+	for _, v := range []struct {
+		name    string
+		generic bool
+	}{{"odometer", true}, {"fast", false}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.SetBytes(int64(f.Bytes()))
+			for i := 0; i < b.N; i++ {
+				countNonConstantBlocks(f, side, nblocks, strides, 0, total, threshold, v.generic)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(f.Size()), "ns/elem")
+		})
+	}
+}

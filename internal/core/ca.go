@@ -64,7 +64,7 @@ func NonConstantRatioParallel(f *grid.Field, blockSide int, lambda float64, work
 		if hi > total {
 			hi = total
 		}
-		counts[ci] = countNonConstantBlocks(f, blockSide, nblocks, strides, lo, hi, threshold)
+		counts[ci] = countNonConstantBlocks(f, blockSide, nblocks, strides, lo, hi, threshold, false)
 	})
 	nonConst := 0
 	for _, c := range counts {
@@ -83,14 +83,18 @@ func NonConstantRatioParallel(f *grid.Field, blockSide int, lambda float64, work
 // countNonConstantBlocks scans blocks [lo, hi) in the row-major linear block
 // order of grid.VisitBlocks and counts those whose value range meets the
 // threshold. It reads samples in place — no gather buffer — so concurrent
-// tasks share nothing but the read-only field.
-func countNonConstantBlocks(f *grid.Field, side int, nblocks, strides []int, lo, hi int, threshold float64) int {
+// tasks share nothing but the read-only field. Full (unclipped) blocks in
+// dims 1–3 take the specialized nested-loop kernels in ca_fast.go; clipped
+// edge blocks and ≥ 4-d fields use the coordinate odometer, which doubles as
+// the property-test oracle when forceGeneric is set.
+func countNonConstantBlocks(f *grid.Field, side int, nblocks, strides []int, lo, hi int, threshold float64, forceGeneric bool) int {
 	nd := len(nblocks)
 	bcoord := make([]int, nd)
 	origin := make([]int, nd)
 	shape := make([]int, nd)
 	coord := make([]int, nd)
 	count := 0
+	var nfast, nedge int64
 	for bi := lo; bi < hi; bi++ {
 		// Decompose the linear block index (row-major, last dim fastest).
 		rem := bi
@@ -99,48 +103,73 @@ func countNonConstantBlocks(f *grid.Field, side int, nblocks, strides []int, lo,
 			rem /= nblocks[d]
 		}
 		base := 0
+		full := true
 		for d := 0; d < nd; d++ {
 			origin[d] = bcoord[d] * side
 			shape[d] = side
 			if origin[d]+shape[d] > f.Dims[d] {
 				shape[d] = f.Dims[d] - origin[d]
+				full = false
 			}
 			base += origin[d] * strides[d]
 			coord[d] = 0
 		}
-		// Min/max over the clipped block via a coordinate odometer.
-		mn := f.Data[base]
-		mx := mn
-		for {
-			lin := base
-			for d := 0; d < nd; d++ {
-				lin += coord[d] * strides[d]
+		var mn, mx float32
+		if full && !forceGeneric && nd <= 3 {
+			nfast++
+			switch nd {
+			case 1:
+				mn, mx = blockRange1D(f.Data, base, side, strides[0])
+			case 2:
+				mn, mx = blockRange2D(f.Data, base, side, strides[0], strides[1])
+			default:
+				mn, mx = blockRange3D(f.Data, base, side, strides[0], strides[1], strides[2])
 			}
-			v := f.Data[lin]
-			if v < mn {
-				mn = v
-			}
-			if v > mx {
-				mx = v
-			}
-			d := nd - 1
-			for d >= 0 {
-				coord[d]++
-				if coord[d] < shape[d] {
-					break
-				}
-				coord[d] = 0
-				d--
-			}
-			if d < 0 {
-				break
-			}
+		} else {
+			nedge++
+			mn, mx = blockRangeOdometer(f.Data, base, shape, strides, coord)
 		}
 		if float64(mx-mn) >= threshold {
 			count++
 		}
 	}
+	obs.Add("ca/blocks_fast", nfast)
+	obs.Add("ca/blocks_edge", nedge)
 	return count
+}
+
+// blockRangeOdometer computes the value range of a clipped block via a
+// coordinate odometer. coord is caller scratch, already zeroed.
+func blockRangeOdometer(data []float32, base int, shape, strides, coord []int) (mn, mx float32) {
+	nd := len(shape)
+	mn = data[base]
+	mx = mn
+	for {
+		lin := base
+		for d := 0; d < nd; d++ {
+			lin += coord[d] * strides[d]
+		}
+		v := data[lin]
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		d := nd - 1
+		for d >= 0 {
+			coord[d]++
+			if coord[d] < shape[d] {
+				break
+			}
+			coord[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return mn, mx
 }
 
 // AdjustRatio applies Formula (4): ACR = TCR · R.

@@ -1,0 +1,69 @@
+package core
+
+// Specialized min/max kernels for full (unclipped) side^d CA blocks. The
+// generic odometer in ca.go recomputes a dot product with the stride vector
+// for every sample; a full block needs none of that — the interior is a fixed
+// lattice walked with incremented offsets. Traversal order matches the
+// odometer's (last dimension fastest), so results are identical even for
+// blocks containing NaNs, whose comparisons always lose.
+
+// blockRange1D scans a full 1-d block of side samples starting at base.
+func blockRange1D(data []float32, base, side, s0 int) (mn, mx float32) {
+	mn = data[base]
+	mx = mn
+	p := base
+	for x := 0; x < side; x++ {
+		v := data[p]
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		p += s0
+	}
+	return mn, mx
+}
+
+// blockRange2D scans a full side×side block.
+func blockRange2D(data []float32, base, side, s0, s1 int) (mn, mx float32) {
+	mn = data[base]
+	mx = mn
+	for y := 0; y < side; y++ {
+		p := base + y*s0
+		for x := 0; x < side; x++ {
+			v := data[p]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			p += s1
+		}
+	}
+	return mn, mx
+}
+
+// blockRange3D scans a full side×side×side block.
+func blockRange3D(data []float32, base, side, s0, s1, s2 int) (mn, mx float32) {
+	mn = data[base]
+	mx = mn
+	for z := 0; z < side; z++ {
+		zoff := base + z*s0
+		for y := 0; y < side; y++ {
+			p := zoff + y*s1
+			for x := 0; x < side; x++ {
+				v := data[p]
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+				p += s2
+			}
+		}
+	}
+	return mn, mx
+}

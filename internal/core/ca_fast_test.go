@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// The full-block min/max kernels must produce the exact odometer counts on
+// every shape class: block-aligned, ragged edges, unit dims, and ≥ 4-d
+// fields (which always take the generic path). NaN samples are included —
+// both traversals skip them identically because NaN comparisons are false.
+func TestCountNonConstantBlocksFastMatchesOdometer(t *testing.T) {
+	shapes := [][]int{
+		{5}, {16}, {64},
+		{4, 4}, {9, 7}, {16, 17},
+		{4, 4, 4}, {8, 8, 8}, {7, 9, 5}, {1, 4, 13},
+		{3, 4, 5, 6}, {4, 4, 4, 4},
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, shape := range shapes {
+		f := grid.MustNew("ca", shape...)
+		for i := range f.Data {
+			f.Data[i] = rng.Float32() * 10
+			if i%97 == 0 {
+				f.Data[i] = float32(math.NaN())
+			}
+		}
+		for _, side := range []int{2, 4, 5} {
+			nd := f.NDims()
+			nblocks := make([]int, nd)
+			total := 1
+			for i, d := range f.Dims {
+				nblocks[i] = (d + side - 1) / side
+				total *= nblocks[i]
+			}
+			strides := f.Strides()
+			for _, threshold := range []float64{0, 0.5, 5, 100} {
+				fast := countNonConstantBlocks(f, side, nblocks, strides, 0, total, threshold, false)
+				gen := countNonConstantBlocks(f, side, nblocks, strides, 0, total, threshold, true)
+				if fast != gen {
+					t.Fatalf("shape %v side %d thr %g: fast %d, odometer %d",
+						shape, side, threshold, fast, gen)
+				}
+			}
+		}
+	}
+}

@@ -51,6 +51,35 @@ func BenchmarkHuffmanEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelHuffmanDecode compares the bit-at-a-time canonical walk
+// against the first-level-table decoder on a quantization-code-like stream.
+// Recorded in BENCH_kernels.json as huffman_decode.
+func BenchmarkKernelHuffmanDecode(b *testing.B) {
+	data := benchData()
+	syms := make([]uint32, len(data))
+	for i, v := range data {
+		syms[i] = uint32(v)
+	}
+	blob, err := HuffmanEncode(syms, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name     string
+		useTable bool
+	}{{"bitwise", false}, {"table", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := huffmanDecode(blob, v.useTable); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(syms)), "ns/elem")
+		})
+	}
+}
+
 func BenchmarkRangeCoder(b *testing.B) {
 	n := 1 << 18
 	b.SetBytes(int64(n / 8))

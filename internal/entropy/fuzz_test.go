@@ -16,12 +16,34 @@ func FuzzLZDecompress(f *testing.F) {
 	})
 }
 
-// FuzzHuffmanDecode ensures the canonical Huffman decoder is panic-free.
+// FuzzHuffmanDecode ensures the canonical Huffman decoder is panic-free and
+// that the table-driven and bit-at-a-time paths agree on arbitrary blobs.
 func FuzzHuffmanDecode(f *testing.F) {
 	blob, _ := HuffmanEncode([]uint32{1, 2, 3, 1, 1, 2}, 8)
 	f.Add(blob)
+	long := make([]uint32, 512)
+	for i := range long {
+		long[i] = uint32(i % 200)
+	}
+	if blob, err := HuffmanEncode(long, 200); err == nil {
+		f.Add(blob) // long enough to engage the decode table
+	}
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _ = HuffmanDecode(data)
+		tab, errT := huffmanDecode(data, true)
+		bit, errB := huffmanDecode(data, false)
+		if (errT == nil) != (errB == nil) {
+			t.Fatalf("table err=%v, bitwise err=%v", errT, errB)
+		}
+		if errT == nil {
+			if len(tab) != len(bit) {
+				t.Fatalf("table %d symbols, bitwise %d", len(tab), len(bit))
+			}
+			for i := range tab {
+				if tab[i] != bit[i] {
+					t.Fatalf("symbol %d: table %d, bitwise %d", i, tab[i], bit[i])
+				}
+			}
+		}
 	})
 }

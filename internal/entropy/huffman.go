@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 // maxHuffmanLen caps code lengths so the decoder can use fixed-width tables.
@@ -53,6 +55,13 @@ func HuffmanEncode(symbols []uint32, alphabet int) ([]byte, error) {
 
 // HuffmanDecode reverses HuffmanEncode.
 func HuffmanDecode(blob []byte) ([]uint32, error) {
+	return huffmanDecode(blob, true)
+}
+
+// huffmanDecode is the implementation behind HuffmanDecode. useTable selects
+// the table-driven fast path; tests pass false to pin the table decoder to
+// the bit-at-a-time oracle.
+func huffmanDecode(blob []byte, useTable bool) ([]uint32, error) {
 	alphabet, n, lengths, payload, err := parseHuffmanHeader(blob)
 	if err != nil {
 		return nil, err
@@ -63,9 +72,15 @@ func HuffmanDecode(blob []byte) ([]uint32, error) {
 	if alphabet > 1 && n > 8*len(payload) {
 		return nil, fmt.Errorf("entropy: %d symbols cannot fit in %d payload bytes", n, len(payload))
 	}
-	dec, err := newCanonicalDecoder(lengths)
+	dec, err := newCanonicalDecoder(lengths, useTable && n >= decTableMinSymbols)
 	if err != nil {
 		return nil, err
+	}
+	defer dec.release()
+	if dec.table != nil {
+		obs.Inc("entropy/huffdec_table")
+	} else {
+		obs.Inc("entropy/huffdec_bitwise")
 	}
 	r := NewBitReader(payload)
 	capHint := n
@@ -73,8 +88,11 @@ func HuffmanDecode(blob []byte) ([]uint32, error) {
 		capHint = 1 << 20 // a corrupt count must not drive the allocation
 	}
 	out := make([]uint32, 0, capHint)
+	if dec.table != nil {
+		return dec.decodeAllTable(r, n, out)
+	}
 	for i := 0; i < n; i++ {
-		s, err := dec.decode(r)
+		s, err := dec.decodeSlow(r)
 		if err != nil {
 			return nil, fmt.Errorf("entropy: symbol %d/%d: %w", i, n, err)
 		}
@@ -248,7 +266,27 @@ func canonicalCodes(lengths []uint8) []huffCode {
 	return codes
 }
 
-// canonicalDecoder walks codes bit by bit using first-code/offset tables.
+// First-level decode table parameters. A code of length l ≤ decTableBits
+// occupies 2^(decTableBits-l) table slots (one per padding combination), so a
+// single masked peek at the bit reader resolves it without the per-bit
+// canonical walk. Codes longer than decTableBits, invalid prefixes, and
+// end-of-stream tails all fall through to the bit-at-a-time path, which keeps
+// the original error semantics exactly.
+const (
+	decTableBits = 12
+	decTableSize = 1 << decTableBits
+	// decTableMinSymbols gates table construction: filling 4096 entries only
+	// pays off when the stream is long enough to amortise it.
+	decTableMinSymbols = 128
+)
+
+// decEntry packs a first-level table hit as symbol<<6 | codeLen. Zero means
+// "no code of length ≤ decTableBits has this prefix". Symbols fit in 24 bits
+// (parseHuffmanHeader caps the alphabet at 2^24) and lengths in 6.
+type decEntry uint32
+
+// canonicalDecoder resolves short codes through a fixed-width first-level
+// table and walks the remainder bit by bit using first-code/offset tables.
 type canonicalDecoder struct {
 	// firstCode[l] is the canonical value of the first code of length l,
 	// and symAt maps (l, code-firstCode[l]) to the symbol.
@@ -256,16 +294,21 @@ type canonicalDecoder struct {
 	first   [maxHuffmanLen + 1]uint32
 	offset  [maxHuffmanLen + 1]int
 	symbols []uint32
+	// table is the pooled first-level lookup table, or nil when the caller
+	// declined it or the length table over-subscribes the code space.
+	table []decEntry
 }
 
-func newCanonicalDecoder(lengths []uint8) (*canonicalDecoder, error) {
+func newCanonicalDecoder(lengths []uint8, buildTable bool) (*canonicalDecoder, error) {
 	d := &canonicalDecoder{}
+	var kraft uint64
 	for _, l := range lengths {
 		if l > maxHuffmanLen {
 			return nil, fmt.Errorf("entropy: code length %d exceeds cap", l)
 		}
 		if l > 0 {
 			d.count[l]++
+			kraft += 1 << (maxHuffmanLen - l)
 		}
 	}
 	var code uint32
@@ -285,10 +328,84 @@ func newCanonicalDecoder(lengths []uint8) (*canonicalDecoder, error) {
 			next[l]++
 		}
 	}
+	// An over-subscribed length table (Kraft sum > 1) assigns overlapping
+	// codes; reversed indices would collide, so leave the table off and let
+	// the bit-wise walk reproduce the historical behaviour for such blobs.
+	if buildTable && kraft <= 1<<maxHuffmanLen {
+		d.buildTable()
+	}
 	return d, nil
 }
 
-func (d *canonicalDecoder) decode(r *BitReader) (uint32, error) {
+// buildTable fills the first-level table: each code of length l ≤ decTableBits
+// lands at its bit-reversed value (codes are emitted LSB-first, so the low
+// bits of the reader's accumulator hold the code's leading bits reversed) and
+// is replicated across every high-bit padding.
+func (d *canonicalDecoder) buildTable() {
+	d.table = getDecTable()
+	for l := 1; l <= decTableBits; l++ {
+		e := decEntry(l)
+		for j := 0; j < d.count[l]; j++ {
+			rev := int(bits.Reverse32(d.first[l]+uint32(j)) >> (32 - uint(l)))
+			sym := d.symbols[d.offset[l]+j]
+			for idx := rev; idx < decTableSize; idx += 1 << l {
+				d.table[idx] = e | decEntry(sym)<<6
+			}
+		}
+	}
+}
+
+// release returns the pooled decode table, if any. The decoder must not be
+// used afterwards.
+func (d *canonicalDecoder) release() {
+	if d.table != nil {
+		putDecTable(d.table)
+		d.table = nil
+	}
+}
+
+// decodeAllTable decodes n symbols through the first-level table, shadowing
+// the bit-reader state in locals so the hot loop keeps it in registers
+// (per-symbol method calls would spill it on every iteration). Long codes,
+// invalid prefixes and stream tails sync the reader and take the canonical
+// walk, so error behaviour is identical to the bit-wise path.
+func (d *canonicalDecoder) decodeAllTable(r *BitReader, n int, out []uint32) ([]uint32, error) {
+	table := d.table
+	buf := r.buf
+	acc, nbits, pos := r.acc, r.nbits, r.pos
+	for i := 0; i < n; i++ {
+		if nbits < decTableBits {
+			for nbits <= 56 && pos < len(buf) {
+				acc |= uint64(buf[pos]) << nbits
+				pos++
+				nbits += 8
+			}
+		}
+		e := table[acc&(decTableSize-1)]
+		// Bits above nbits in the accumulator are zero padding; the entry is
+		// only trusted when its whole code is real bits.
+		if l := uint(e) & 63; l != 0 && l <= nbits {
+			acc >>= l
+			nbits -= l
+			out = append(out, uint32(e>>6))
+			continue
+		}
+		r.acc, r.nbits, r.pos = acc, nbits, pos
+		s, err := d.decodeSlow(r)
+		if err != nil {
+			return nil, fmt.Errorf("entropy: symbol %d/%d: %w", i, n, err)
+		}
+		out = append(out, s)
+		acc, nbits, pos = r.acc, r.nbits, r.pos
+	}
+	r.acc, r.nbits, r.pos = acc, nbits, pos
+	return out, nil
+}
+
+// decodeSlow is the canonical bit-at-a-time walk: the oracle the table path
+// is property-tested against, and the fallback for long codes, invalid
+// prefixes and stream tails.
+func (d *canonicalDecoder) decodeSlow(r *BitReader) (uint32, error) {
 	var code uint32
 	for l := 1; l <= maxHuffmanLen; l++ {
 		b, err := r.ReadBit()

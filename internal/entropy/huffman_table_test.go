@@ -1,0 +1,117 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The table-driven decoder must be indistinguishable from the bit-at-a-time
+// canonical walk: same symbols on valid streams, same verdict on corrupt
+// ones. Fibonacci-weighted frequencies are the classic depth-maximising
+// distribution, pushing codes past decTableBits so the first-level-miss
+// overflow path is exercised alongside the table hits.
+
+func huffStreams(rng *rand.Rand) map[string][]uint32 {
+	streams := make(map[string][]uint32)
+
+	uniform := make([]uint32, 4096)
+	for i := range uniform {
+		uniform[i] = uint32(rng.Intn(500))
+	}
+	streams["uniform"] = uniform
+
+	skew := make([]uint32, 4096)
+	for i := range skew {
+		if rng.Intn(10) == 0 {
+			skew[i] = uint32(rng.Intn(200))
+		} // else symbol 0 dominates → 1-2 bit code
+	}
+	streams["skewed"] = skew
+
+	// Fibonacci weights: symbol i appears fib(i) times, giving code lengths
+	// that grow linearly in the symbol index — well past the 12-bit table.
+	var fib []uint32
+	a, b := 1, 1
+	for s := 0; s < 24; s++ {
+		for j := 0; j < a; j++ {
+			fib = append(fib, uint32(s))
+		}
+		a, b = b, a+b
+	}
+	rng.Shuffle(len(fib), func(i, j int) { fib[i], fib[j] = fib[j], fib[i] })
+	streams["fibonacci"] = fib
+
+	streams["single"] = make([]uint32, 2048) // one symbol, 1-bit codes
+
+	short := make([]uint32, 50) // below decTableMinSymbols: bitwise on both
+	for i := range short {
+		short[i] = uint32(i)
+	}
+	streams["short"] = short
+
+	return streams
+}
+
+func TestHuffmanTableDecodeMatchesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, syms := range huffStreams(rng) {
+		alphabet := 1
+		for _, s := range syms {
+			if int(s) >= alphabet {
+				alphabet = int(s) + 1
+			}
+		}
+		blob, err := HuffmanEncode(syms, alphabet)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		tab, errT := huffmanDecode(blob, true)
+		bit, errB := huffmanDecode(blob, false)
+		if errT != nil || errB != nil {
+			t.Fatalf("%s: table err=%v bitwise err=%v", name, errT, errB)
+		}
+		if len(tab) != len(bit) {
+			t.Fatalf("%s: %d vs %d symbols", name, len(tab), len(bit))
+		}
+		for i := range tab {
+			if tab[i] != bit[i] {
+				t.Fatalf("%s: symbol %d: table %d, bitwise %d", name, i, tab[i], bit[i])
+			}
+		}
+	}
+}
+
+func TestHuffmanTableDecodeAgreesOnCorruptBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	syms := make([]uint32, 1024)
+	for i := range syms {
+		syms[i] = uint32(rng.Intn(300))
+	}
+	blob, err := HuffmanEncode(syms, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(b []byte, what string) {
+		tab, errT := huffmanDecode(b, true)
+		bit, errB := huffmanDecode(b, false)
+		if (errT == nil) != (errB == nil) {
+			t.Fatalf("%s: table err=%v, bitwise err=%v", what, errT, errB)
+		}
+		if errT != nil && errT.Error() != errB.Error() {
+			t.Fatalf("%s: error messages diverge: %q vs %q", what, errT, errB)
+		}
+		for i := range tab {
+			if tab[i] != bit[i] {
+				t.Fatalf("%s: symbol %d diverges", what, i)
+			}
+		}
+	}
+	for cut := 0; cut < len(blob); cut += 37 {
+		check(blob[:cut], "truncated")
+	}
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), blob...)
+		mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		check(mut, "bit-flipped")
+	}
+}

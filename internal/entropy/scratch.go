@@ -24,6 +24,7 @@ var (
 	int32Pool = sync.Pool{New: func() any { return new([]int32) }}
 	u32Pool   = sync.Pool{New: func() any { return new([]uint32) }}
 	codePool  = sync.Pool{New: func() any { return new([]huffCode) }}
+	decPool   = sync.Pool{New: func() any { return new([]decEntry) }}
 )
 
 // record bumps the pool hit/miss counters.
@@ -129,4 +130,26 @@ func putCodes(s []huffCode) {
 		return
 	}
 	codePool.Put(&s)
+}
+
+// getDecTable returns a zeroed first-level Huffman decode table
+// (decTableSize entries, ~16 KiB) with recycled backing storage.
+func getDecTable() []decEntry {
+	p := decPool.Get().(*[]decEntry)
+	s := *p
+	if cap(s) < decTableSize {
+		record(false)
+		return make([]decEntry, decTableSize)
+	}
+	record(true)
+	s = s[:decTableSize]
+	clear(s)
+	return s
+}
+
+func putDecTable(s []decEntry) {
+	if cap(s) == 0 {
+		return
+	}
+	decPool.Put(&s)
 }

@@ -1,6 +1,7 @@
 package sz
 
 import (
+	"math"
 	"testing"
 
 	"github.com/fxrz-go/fxrz/internal/grid"
@@ -25,6 +26,21 @@ func FuzzDecompress(f *testing.F) {
 		g, err := c.Decompress(data)
 		if err == nil && g != nil && g.Size() > 1<<24 {
 			t.Skip("oversized but well-formed header")
+		}
+		// The specialized decode kernels must agree with the generic odometer
+		// on arbitrary (including corrupt) streams: same error verdict, same
+		// reconstructed bit patterns.
+		gg, gerr := decompressSZ(data, true)
+		if (err == nil) != (gerr == nil) {
+			t.Fatalf("fast err=%v, generic err=%v", err, gerr)
+		}
+		if err == nil {
+			for i := range g.Data {
+				if math.Float32bits(g.Data[i]) != math.Float32bits(gg.Data[i]) {
+					t.Fatalf("sample %d: fast %x, generic %x",
+						i, math.Float32bits(g.Data[i]), math.Float32bits(gg.Data[i]))
+				}
+			}
 		}
 	})
 }

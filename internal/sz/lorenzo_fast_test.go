@@ -1,0 +1,129 @@
+package sz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// The specialized 1D/2D/3D kernels must be bit-identical to the generic
+// odometer path: same compressed bytes, same reconstructed bit patterns.
+// These tests sweep shapes that stress every row class (first-row, first-
+// column, interior, unit dims), data that exercises both the quantized and
+// the escape path (NaN, Inf, huge values), and bounds from very tight to
+// absurdly loose.
+
+var identityShapes = [][]int{
+	{1}, {7}, {64},
+	{1, 9}, {9, 1}, {8, 8}, {5, 13},
+	{1, 1, 1}, {4, 1, 7}, {1, 8, 8}, {16, 16, 16}, {3, 5, 7},
+	{2, 3, 4, 5}, {4, 4, 4, 4}, // 4-d exercises the shared generic path
+}
+
+// identityFields returns fields with distinct value characters for a shape.
+func identityFields(t *testing.T, shape []int) []*grid.Field {
+	t.Helper()
+	mk := func(name string) *grid.Field { return grid.MustNew(name, shape...) }
+
+	smooth := mk("smooth")
+	for i := range smooth.Data {
+		smooth.Data[i] = float32(math.Sin(float64(i) / 11))
+	}
+
+	rnd := mk("random")
+	rng := rand.New(rand.NewSource(int64(len(rnd.Data))))
+	for i := range rnd.Data {
+		rnd.Data[i] = rng.Float32()*2e4 - 1e4
+	}
+
+	// Escape-heavy: non-finite and huge samples that force raw literals, plus
+	// negative zero to pin the float accumulation order.
+	esc := mk("escape")
+	for i := range esc.Data {
+		switch i % 7 {
+		case 0:
+			esc.Data[i] = float32(math.NaN())
+		case 1:
+			esc.Data[i] = float32(math.Inf(1))
+		case 2:
+			esc.Data[i] = float32(math.Inf(-1))
+		case 3:
+			esc.Data[i] = 3e38
+		case 4:
+			esc.Data[i] = float32(math.Copysign(0, -1))
+		default:
+			esc.Data[i] = float32(i)
+		}
+	}
+
+	konst := mk("const")
+	konst.Fill(4.25)
+
+	return []*grid.Field{smooth, rnd, esc, konst}
+}
+
+func TestCompressFastMatchesGenericBitwise(t *testing.T) {
+	for _, shape := range identityShapes {
+		for _, f := range identityFields(t, shape) {
+			for _, eb := range []float64{1e-3, 1e-7, 1e3} {
+				blobG, errG := compressSZ(f, eb, true)
+				blobF, errF := compressSZ(f, eb, false)
+				if (errG == nil) != (errF == nil) {
+					t.Fatalf("%v/%s eb=%g: generic err=%v, fast err=%v", shape, f.Name, eb, errG, errF)
+				}
+				if errG != nil {
+					continue
+				}
+				if !bytes.Equal(blobG, blobF) {
+					t.Fatalf("%v/%s eb=%g: compressed blobs differ (%d vs %d bytes)",
+						shape, f.Name, eb, len(blobG), len(blobF))
+				}
+
+				gG, errG := decompressSZ(blobG, true)
+				gF, errF := decompressSZ(blobG, false)
+				if errG != nil || errF != nil {
+					t.Fatalf("%v/%s eb=%g: decompress generic err=%v fast err=%v", shape, f.Name, eb, errG, errF)
+				}
+				for i := range gG.Data {
+					if math.Float32bits(gG.Data[i]) != math.Float32bits(gF.Data[i]) {
+						t.Fatalf("%v/%s eb=%g: sample %d differs: %x vs %x",
+							shape, f.Name, eb, i, math.Float32bits(gG.Data[i]), math.Float32bits(gF.Data[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructFastMatchesGenericOnTruncatedRaw confirms the two decode
+// paths agree on the error for a blob whose raw-literal pool is exhausted
+// mid-stream.
+func TestReconstructFastMatchesGenericOnTruncatedRaw(t *testing.T) {
+	f := grid.MustNew("esc", 4, 5)
+	for i := range f.Data {
+		f.Data[i] = float32(math.Inf(1)) // every sample escapes
+	}
+	blob, err := compressSZ(f, 1e-3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decompressing a prefix tends to truncate the raw pool; both paths must
+	// fail (or succeed) identically.
+	for cut := len(blob) - 1; cut > len(blob)-16 && cut > 0; cut-- {
+		gG, errG := decompressSZ(blob[:cut], true)
+		gF, errF := decompressSZ(blob[:cut], false)
+		if (errG == nil) != (errF == nil) {
+			t.Fatalf("cut=%d: generic err=%v, fast err=%v", cut, errG, errF)
+		}
+		if errG == nil {
+			for i := range gG.Data {
+				if math.Float32bits(gG.Data[i]) != math.Float32bits(gF.Data[i]) {
+					t.Fatalf("cut=%d sample %d differs", cut, i)
+				}
+			}
+		}
+	}
+}

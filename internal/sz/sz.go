@@ -45,6 +45,13 @@ func (*Compressor) Axis() compress.Axis {
 
 // Compress implements compress.Compressor.
 func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
+	return compressSZ(f, eb, false)
+}
+
+// compressSZ is the Compress implementation; forceGeneric pins the
+// quantization pass to the N-d odometer oracle so tests can prove the
+// specialized kernels emit identical blobs.
+func compressSZ(f *grid.Field, eb float64, forceGeneric bool) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz: error bound must be a positive finite number, got %v", eb)
 	}
@@ -53,37 +60,14 @@ func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	n := f.Size()
 	codes := getU16s(n)
 	defer putU16s(codes)
-	var raw []float32
 	recon := getF32s(n)
 	defer putF32s(recon)
-	lor := newLorenzo(f.Dims)
-
-	twoEB := 2 * eb
-	for idx := 0; idx < n; idx++ {
-		v := float64(f.Data[idx])
-		pred := lor.predict(recon, idx)
-		q := math.Round((v - pred) / twoEB)
-		quantized := false
-		if !math.IsNaN(q) && !math.IsInf(q, 0) {
-			if code := int64(q) + radius; code > 0 && code < intervals {
-				// The reconstruction is rounded to float32 exactly as the
-				// decoder will produce it; accept only if the bound holds
-				// after that rounding.
-				rec := float32(pred + twoEB*q)
-				if math.Abs(float64(rec)-v) <= eb {
-					codes[idx] = uint16(code)
-					recon[idx] = rec
-					quantized = true
-				}
-			}
-		}
-		if !quantized {
-			codes[idx] = 0
-			raw = append(raw, f.Data[idx])
-			recon[idx] = f.Data[idx]
-		}
-		lor.advance()
-	}
+	// The escape pool is staged through the scratch pools too: at most n
+	// points can escape, so a capacity-n buffer guarantees the appends inside
+	// the kernels never reallocate.
+	rawBuf := getF32s(n)[:0]
+	defer putF32s(rawBuf[:cap(rawBuf)])
+	raw := quantizeField(f, eb, codes, recon, rawBuf, forceGeneric)
 
 	codeBytes := getScratchBytes(2 * n)
 	for i, c := range codes {
@@ -94,7 +78,7 @@ func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sz: encode codes: %w", err)
 	}
-	rawBytes := make([]byte, 4*len(raw))
+	rawBytes := getScratchBytes(4 * len(raw))
 	for i, v := range raw {
 		binary.LittleEndian.PutUint32(rawBytes[4*i:], math.Float32bits(v))
 	}
@@ -104,11 +88,18 @@ func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	out = append(out, packedCodes...)
 	out = binary.AppendUvarint(out, uint64(len(raw)))
 	out = append(out, rawBytes...)
+	putScratchBytes(rawBytes)
 	return out, nil
 }
 
 // Decompress implements compress.Compressor.
 func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
+	return decompressSZ(blob, false)
+}
+
+// decompressSZ is the Decompress implementation; forceGeneric pins the
+// reconstruction pass to the N-d odometer oracle (see compressSZ).
+func decompressSZ(blob []byte, forceGeneric bool) (*grid.Field, error) {
 	defer obs.Span("decompress/sz")()
 	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
 	if err != nil {
@@ -141,23 +132,8 @@ func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
 	if len(codeBytes) != 2*n {
 		return nil, fmt.Errorf("sz: %w: %d code bytes for %d points", compress.ErrCorrupt, len(codeBytes), n)
 	}
-	eb := h.Knob
-	twoEB := 2 * eb
-	lor := newLorenzo(h.Dims)
-	rawPos := 0
-	for idx := 0; idx < n; idx++ {
-		code := binary.LittleEndian.Uint16(codeBytes[2*idx:])
-		if code == 0 {
-			if uint64(rawPos) >= nraw {
-				return nil, fmt.Errorf("sz: %w: raw pool exhausted", compress.ErrCorrupt)
-			}
-			f.Data[idx] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*rawPos:]))
-			rawPos++
-		} else {
-			pred := lor.predict(f.Data, idx)
-			f.Data[idx] = float32(pred + twoEB*float64(int(code)-radius))
-		}
-		lor.advance()
+	if err := reconstructField(f, h.Knob, codeBytes, payload, nraw, forceGeneric); err != nil {
+		return nil, err
 	}
 	return f, nil
 }

@@ -49,7 +49,10 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	defer putF32s(recon)
 	codes := getU16s(n)[:0]
 	defer func() { putU16s(codes) }()
-	var raw []float32
+	// Escapes are staged through the float32 scratch pool: at most n points
+	// can escape, so the capacity-n buffer below never regrows.
+	raw := getF32s(n)[:0]
+	defer putF32s(raw[:cap(raw)])
 	var modeBits []byte
 	var coeffCodes []byte
 	twoEB := 2 * eb
@@ -59,6 +62,9 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 
 	strides := f.Strides()
 	lor := &lorenzoAt{dims: f.Dims, strides: strides}
+	// Reusable global-coordinate buffer: origin+local, computed in place so
+	// the per-point predictor never allocates.
+	gcoord := make([]int, f.NDims())
 
 	blockIdx := 0
 	visitBlockOrigins(f.Dims, regBlockSide, func(origin []int) {
@@ -87,7 +93,10 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 			forEachInBlock(origin, shape, strides, func(idx int, local []int) {
 				v := float64(f.Data[idx])
 				regErr += math.Abs(v - evalLinear(rc, local))
-				lorErr += math.Abs(v - lor.predictOriginal(f.Data, idx, coordOf(idx, f.Dims)))
+				for d := range gcoord {
+					gcoord[d] = origin[d] + local[d]
+				}
+				lorErr += math.Abs(v - lor.predictOriginal(f.Data, idx, gcoord))
 			})
 			useReg = regErr < lorErr
 		}
@@ -106,7 +115,10 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 			if useReg {
 				pred = evalLinear(rc, local)
 			} else {
-				pred = lor.predictRecon(recon, idx, coordOf(idx, f.Dims))
+				for d := range gcoord {
+					gcoord[d] = origin[d] + local[d]
+				}
+				pred = lor.predictRecon(recon, idx, gcoord)
 			}
 			q := math.Round((v - pred) / twoEB)
 			if !math.IsNaN(q) && !math.IsInf(q, 0) {
@@ -211,6 +223,7 @@ func (*V2) Decompress(blob []byte) (*grid.Field, error) {
 	nd := f.NDims()
 	strides := f.Strides()
 	lor := &lorenzoAt{dims: f.Dims, strides: strides}
+	gcoord := make([]int, nd)
 
 	pos, rawPos, blockIdx := 0, 0, 0
 	coeffPos := 0
@@ -253,7 +266,10 @@ func (*V2) Decompress(blob []byte) (*grid.Field, error) {
 			if useReg {
 				pred = evalLinear(rc, local)
 			} else {
-				pred = lor.predictRecon(f.Data, idx, coordOf(idx, h.Dims))
+				for d := range gcoord {
+					gcoord[d] = origin[d] + local[d]
+				}
+				pred = lor.predictRecon(f.Data, idx, gcoord)
 			}
 			f.Data[idx] = float32(pred + twoEB*float64(int(code)-radius))
 		})
@@ -421,15 +437,6 @@ func visitBlockOrigins(dims []int, side int, fn func(origin []int)) {
 			return
 		}
 	}
-}
-
-func coordOf(idx int, dims []int) []int {
-	c := make([]int, len(dims))
-	for i := len(dims) - 1; i >= 0; i-- {
-		c[i] = idx % dims[i]
-		idx /= dims[i]
-	}
-	return c
 }
 
 func setBit(bits []byte, i int) []byte {

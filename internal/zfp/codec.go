@@ -13,23 +13,51 @@ import (
 // coded with a unary run-length scheme that stops at the first new
 // significant coefficient.
 
+// transpose64 transposes a 64×64 bit matrix in place (Hacker's Delight
+// 7-3): six block-swap stages of 32 word pairs each, instead of the 64×64
+// single-bit moves of the naive loop. In the algorithm's convention, bit
+// (63-c) of a[r] is the matrix element at row r, column c.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j, m = j>>1, m^(m<<(j>>1)) {
+		for k := 0; k < 64; k = ((k | int(j)) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k|int(j)] >> j)) & m
+			a[k] ^= t
+			a[k|int(j)] ^= t << j
+		}
+	}
+}
+
+// gatherPlanes extracts every bit plane of a block in one transpose pass:
+// after the call, planes[63-k] holds plane k across the coefficients
+// (bit i set ⇔ bit k of data[i] set). Loading row 63-i with coefficient i
+// cancels the transpose's bit-order convention, so no per-plane bit reversal
+// is needed. Equivalent to, and property-tested against, the per-plane
+// gather loop the embedded coder used before.
+func gatherPlanes(data []uint32, planes *[64]uint64) {
+	*planes = [64]uint64{}
+	for i, v := range data {
+		planes[63-i] = uint64(v)
+	}
+	transpose64(planes)
+}
+
 // encodeInts writes up to maxbits bits covering maxprec bit planes of data
 // (negabinary, ordered by sequency) and returns the number of bits written.
-func encodeInts(w *entropy.BitWriter, maxbits, maxprec int, data []uint32) int {
+// planes is caller-provided scratch for the one-pass plane gather.
+func encodeInts(w *entropy.BitWriter, maxbits, maxprec int, data []uint32, planes *[64]uint64) int {
 	size := len(data)
 	kmin := 0
 	if intPrec > maxprec {
 		kmin = intPrec - maxprec
 	}
+	// Step 1 (hoisted): gather all bit planes in one transpose instead of
+	// re-scanning the 64 coefficients once per plane.
+	gatherPlanes(data, planes)
 	bits := maxbits
 	n := 0
 	for k := intPrec; k > kmin && bits > 0; k-- {
-		kk := uint(k - 1)
-		// Step 1: gather bit plane kk across coefficients (size <= 64).
-		var x uint64
-		for i := 0; i < size; i++ {
-			x |= uint64((data[i]>>kk)&1) << uint(i)
-		}
+		x := planes[64-k]
 		// Step 2: plane bits of already-significant coefficients, verbatim.
 		m := n
 		if m > bits {

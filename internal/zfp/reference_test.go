@@ -1,0 +1,115 @@
+package zfp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/entropy"
+)
+
+// encodeIntsPerPlane is the pre-transpose embedded coder: it re-gathers each
+// bit plane with a 64-iteration scan. Kept as the oracle the one-pass
+// transpose gather is property-tested (and benchmarked) against.
+func encodeIntsPerPlane(w *entropy.BitWriter, maxbits, maxprec int, data []uint32) int {
+	size := len(data)
+	kmin := 0
+	if intPrec > maxprec {
+		kmin = intPrec - maxprec
+	}
+	bits := maxbits
+	n := 0
+	for k := intPrec; k > kmin && bits > 0; k-- {
+		kk := uint(k - 1)
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= uint64((data[i]>>kk)&1) << uint(i)
+		}
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		w.WriteBits(x, uint(m))
+		x >>= uint(m)
+		for n < size && bits > 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits > 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return maxbits - bits
+}
+
+// refBlocks yields coefficient blocks with distinct bit-plane structure.
+func refBlocks(rng *rand.Rand) [][]uint32 {
+	sizes := []int{1, 4, 16, 31, 64}
+	var blocks [][]uint32
+	for _, sz := range sizes {
+		zero := make([]uint32, sz)
+		dense := make([]uint32, sz)
+		sparse := make([]uint32, sz)
+		for i := range dense {
+			dense[i] = rng.Uint32()
+			if i%7 == 0 {
+				sparse[i] = 1 << uint(rng.Intn(32))
+			}
+		}
+		blocks = append(blocks, zero, dense, sparse)
+	}
+	return blocks
+}
+
+func TestGatherPlanesMatchesPerPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var planes [64]uint64
+	for _, data := range refBlocks(rng) {
+		gatherPlanes(data, &planes)
+		for k := 0; k < intPrec; k++ {
+			var want uint64
+			for i := range data {
+				want |= uint64((data[i]>>uint(k))&1) << uint(i)
+			}
+			if got := planes[63-k]; got != want {
+				t.Fatalf("size %d plane %d: got %#x want %#x", len(data), k, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodeIntsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var planes [64]uint64
+	for _, data := range refBlocks(rng) {
+		for _, maxprec := range []int{1, 7, 16, intPrec} {
+			for _, maxbits := range []int{1, 13, 100, 1 << 12} {
+				wRef := &entropy.BitWriter{}
+				wNew := &entropy.BitWriter{}
+				uRef := encodeIntsPerPlane(wRef, maxbits, maxprec, data)
+				uNew := encodeInts(wNew, maxbits, maxprec, data, &planes)
+				if uRef != uNew {
+					t.Fatalf("size %d prec %d bits %d: used %d vs %d",
+						len(data), maxprec, maxbits, uRef, uNew)
+				}
+				if !bytes.Equal(wRef.Bytes(), wNew.Bytes()) {
+					t.Fatalf("size %d prec %d bits %d: streams differ", len(data), maxprec, maxbits)
+				}
+			}
+		}
+	}
+}

@@ -64,7 +64,9 @@ func (*Compressor) Compress(f *grid.Field, tol float64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(out, payload...), nil
+	out = append(out, payload...)
+	entropy.RecycleBuffer(payload)
+	return out, nil
 }
 
 // Decompress implements compress.Compressor.
@@ -127,7 +129,9 @@ func (*FixedRate) Compress(f *grid.Field, rate float64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(out, payload...), nil
+	out = append(out, payload...)
+	entropy.RecycleBuffer(payload)
+	return out, nil
 }
 
 // Decompress implements compress.Compressor.
@@ -184,10 +188,10 @@ func encodeBody(f *grid.Field, minexp, maxbits int) ([]byte, error) {
 	for i := 0; i < nd; i++ {
 		bs *= blockSide
 	}
-	w := &entropy.BitWriter{}
-	vals := make([]float32, bs)
-	q := make([]int32, bs)
-	ub := make([]uint32, bs)
+	w := entropy.NewPooledBitWriter()
+	s := getBlockScratch(bs)
+	defer putBlockScratch(s)
+	vals, q, ub := s.vals, s.q, s.ub
 	perm := perms[nd-1]
 
 	visitBlockOrigins(dims, func(origin []int) {
@@ -215,7 +219,7 @@ func encodeBody(f *grid.Field, minexp, maxbits int) ([]byte, error) {
 				for i, p := range perm {
 					ub[i] = int32ToNegabinary(q[p])
 				}
-				used += encodeInts(w, budget-used, maxprec, ub)
+				used += encodeInts(w, budget-used, maxprec, ub, &s.planes)
 			}
 		}
 		// Fixed-rate blocks are padded to exactly the budget.
@@ -245,9 +249,9 @@ func decodeBody(f *grid.Field, payload []byte, minexp, maxbits int) error {
 		bs *= blockSide
 	}
 	r := entropy.NewBitReader(payload)
-	vals := make([]float32, bs)
-	q := make([]int32, bs)
-	ub := make([]uint32, bs)
+	s := getBlockScratch(bs)
+	defer putBlockScratch(s)
+	vals, q, ub := s.vals, s.q, s.ub
 	perm := perms[nd-1]
 
 	visitBlockOrigins(dims, func(origin []int) {

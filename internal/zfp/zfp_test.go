@@ -141,7 +141,8 @@ func TestEncodeDecodeIntsMirror(t *testing.T) {
 		maxprec := 1 + rng.Intn(32)
 		for _, maxbits := range []int{unbounded, 30, 100, 1} {
 			w := &entropy.BitWriter{}
-			used := encodeInts(w, maxbits, maxprec, data)
+			var planes [64]uint64
+			used := encodeInts(w, maxbits, maxprec, data, &planes)
 			if used > maxbits {
 				t.Fatalf("encode used %d > budget %d", used, maxbits)
 			}
