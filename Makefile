@@ -4,7 +4,7 @@
 # The CI workflow (.github/workflows/ci.yml) runs lint, verify, verify-race,
 # cover and the bench-smoke/benchguard pair on every push and pull request.
 
-.PHONY: verify verify-race lint cover bench-train bench-kernels bench-smoke benchguard
+.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-smoke benchguard
 
 verify:
 	go build ./... && go test ./...
@@ -44,6 +44,16 @@ bench-kernels:
 		|| { echo "$$out"; exit 1; }; \
 	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_kernels.json
 
+# Run the serial-vs-parallel codec benchmarks and print w1-vs-w4 deltas,
+# gated against the recorded BENCH_compress.json. The 1.5x pack floor only
+# gates on machines with >= 4 cores (parallel speedups, unlike the kernel
+# before/after ratios, are wall-clock and core-bound); elsewhere the table is
+# informational and only a missing bench variant fails.
+bench-compress:
+	@out="$$(go test -run '^$$' -bench BenchmarkCompress -benchtime 1x .)" \
+		|| { echo "$$out"; exit 1; }; \
+	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_compress.json
+
 # One-iteration benchmark pass: proves the benchmarks still run, without
 # trusting the timings of a shared CI box (the timing gate is bench-kernels,
 # run on a quiet recording machine).
@@ -55,4 +65,4 @@ bench-smoke:
 # Validate the recorded baseline files stay machine-readable and keep their
 # speedup floors.
 benchguard:
-	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json
+	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json

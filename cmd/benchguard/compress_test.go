@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fullCompress builds a valid compress baseline, optionally mutated, as JSON.
+// Defaults model a multi-core recorder whose pack entries clear the 1.5×
+// floor.
+func fullCompress(t *testing.T, mutate func(b *compressBaseline)) string {
+	t.Helper()
+	mk := func(name string, w1, w2, w4 float64) compressEntry {
+		return compressEntry{
+			Name: name,
+			Results: []compressResult{
+				{Workers: 1, NsPerElem: w1},
+				{Workers: 2, NsPerElem: w2},
+				{Workers: 4, NsPerElem: w4},
+			},
+			SpeedupW4: w1 / w4,
+		}
+	}
+	b := compressBaseline{
+		Benchmark: "BenchmarkCompress*",
+		Date:      "2026-08-05",
+		Field:     "nyx baryon_density 256x256x256",
+		Runner:    compressRunner{CPU: "test", Cores: 8},
+		Codecs: []compressEntry{
+			mk("sz_pack", 140, 80, 50),
+			mk("sz_unpack", 21, 14, 10),
+			mk("zfp_pack", 20, 12, 8),
+			mk("zfp_unpack", 22, 14, 11),
+		},
+	}
+	if mutate != nil {
+		mutate(&b)
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestValidateCompressBaselines(t *testing.T) {
+	if err := validate([]byte(fullCompress(t, nil))); err != nil {
+		t.Fatalf("valid compress baseline rejected: %v", err)
+	}
+	// A single-core recording passes only with an explanatory note, and is
+	// exempt from the pack floor (held to the overhead cap instead).
+	singleCore := func(b *compressBaseline) {
+		b.Runner.Cores = 1
+		b.Runner.Note = "single-core runner; floor not enforceable"
+		for i := range b.Codecs {
+			r := &b.Codecs[i]
+			r.Results = []compressResult{
+				{Workers: 1, NsPerElem: 20},
+				{Workers: 2, NsPerElem: 24},
+				{Workers: 4, NsPerElem: 25},
+			}
+			r.SpeedupW4 = 0.8
+		}
+	}
+	if err := validate([]byte(fullCompress(t, singleCore))); err != nil {
+		t.Fatalf("single-core baseline with note rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(b *compressBaseline)
+		wantErr string
+	}{
+		{"missing field", func(b *compressBaseline) { b.Field = "" }, `missing required field "field"`},
+		{"zero cores", func(b *compressBaseline) { b.Runner.Cores = 0 }, "runner.cores must be > 0"},
+		{"single core without note", func(b *compressBaseline) { b.Runner.Cores = 1 }, "runner.note"},
+		{"missing codec", func(b *compressBaseline) { b.Codecs = b.Codecs[:3] }, `missing required codec "zfp_unpack"`},
+		{"duplicate codec", func(b *compressBaseline) { b.Codecs = append(b.Codecs, b.Codecs[0]) }, "duplicate entry"},
+		{"missing width", func(b *compressBaseline) { b.Codecs[0].Results = b.Codecs[0].Results[:2] }, "missing result for workers=4"},
+		{"zero ns", func(b *compressBaseline) { b.Codecs[1].Results[0].NsPerElem = 0 }, "ns_per_elem must be > 0"},
+		{"inconsistent speedup", func(b *compressBaseline) { b.Codecs[0].SpeedupW4 = 9.99 }, "inconsistent with w1/w4 ratio"},
+		{
+			"pack floor violated on multi-core", func(b *compressBaseline) {
+				b.Codecs[2].Results[2].NsPerElem = 18 // zfp_pack w4: 20/18 ≈ 1.11×
+				b.Codecs[2].SpeedupW4 = 20.0 / 18
+			},
+			"below the 1.5x floor",
+		},
+		{
+			"overhead cap violated", func(b *compressBaseline) {
+				b.Runner.Cores = 1
+				b.Runner.Note = "single-core"
+				b.Codecs[3].Results[2].NsPerElem = 40 // zfp_unpack w4: 1.8× slower
+				b.Codecs[3].SpeedupW4 = 22.0 / 40
+			},
+			"overhead cap",
+		},
+	}
+	for _, tc := range cases {
+		err := validate([]byte(fullCompress(t, tc.mutate)))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+const healthyCompressBench = `
+BenchmarkCompressPack/sz/w1-8      1  1 ns/op  140.0 ns/elem
+BenchmarkCompressPack/sz/w2-8      1  1 ns/op  80.0 ns/elem
+BenchmarkCompressPack/sz/w4-8      1  1 ns/op  50.0 ns/elem
+BenchmarkCompressPack/zfp/w1-8     1  1 ns/op  20.0 ns/elem
+BenchmarkCompressPack/zfp/w4-8     1  1 ns/op  8.0 ns/elem
+BenchmarkCompressUnpack/sz/w1-8    1  1 ns/op  21.0 ns/elem
+BenchmarkCompressUnpack/sz/w4-8    1  1 ns/op  10.0 ns/elem
+BenchmarkCompressUnpack/zfp/w1-8   1  1 ns/op  22.0 ns/elem
+BenchmarkCompressUnpack/zfp/w4-8   1  1 ns/op  11.0 ns/elem
+`
+
+func TestRunDeltasCompress(t *testing.T) {
+	baseline := t.TempDir() + "/BENCH_compress.json"
+	if err := os.WriteFile(baseline, []byte(fullCompress(t, nil)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := runDeltas(strings.NewReader(healthyCompressBench), &sb, baseline, 8); err != nil {
+		t.Fatalf("healthy multi-core run rejected: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "sz_pack") || !strings.Contains(sb.String(), "zfp_unpack") {
+		t.Fatalf("delta table missing compress entries:\n%s", sb.String())
+	}
+
+	// Pack slowed to 1.1× against the floor on a multi-core machine → fail.
+	slowed := strings.Replace(healthyCompressBench,
+		"BenchmarkCompressPack/zfp/w4-8     1  1 ns/op  8.0 ns/elem",
+		"BenchmarkCompressPack/zfp/w4-8     1  1 ns/op  18.0 ns/elem", 1)
+	sb.Reset()
+	err := runDeltas(strings.NewReader(slowed), &sb, baseline, 8)
+	if err == nil || !strings.Contains(err.Error(), "below the 1.5x floor") {
+		t.Fatalf("slowed multi-core run: err = %v, want pack-floor failure", err)
+	}
+
+	// The same slowed measurement on a single-core machine is not gated.
+	sb.Reset()
+	if err := runDeltas(strings.NewReader(slowed), &sb, baseline, 1); err != nil {
+		t.Fatalf("single-core run gated: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "not gated") {
+		t.Fatalf("single-core table missing not-gated note:\n%s", sb.String())
+	}
+
+	// A missing w4 variant fails everywhere: the benchmark roster itself must
+	// stay intact even where speedups are unmeasurable.
+	missing := strings.Replace(healthyCompressBench,
+		"BenchmarkCompressUnpack/zfp/w4-8   1  1 ns/op  11.0 ns/elem", "", 1)
+	sb.Reset()
+	err = runDeltas(strings.NewReader(missing), &sb, baseline, 1)
+	if err == nil || !strings.Contains(err.Error(), "missing after variant") {
+		t.Fatalf("missing-variant run: err = %v, want missing-variant failure", err)
+	}
+}
+
+func TestRecordedCompressBaselineIsValid(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_compress.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(raw); err != nil {
+		t.Errorf("recorded BENCH_compress.json rejected: %v", err)
+	}
+}

@@ -164,7 +164,7 @@ func TestRunDeltasGatesRegressions(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := runDeltas(strings.NewReader(healthyBench), &sb, baseline); err != nil {
+	if err := runDeltas(strings.NewReader(healthyBench), &sb, baseline, 8); err != nil {
 		t.Fatalf("healthy run rejected: %v\n%s", err, sb.String())
 	}
 	if !strings.Contains(sb.String(), "sz_quantize_3d") {
@@ -176,7 +176,7 @@ func TestRunDeltasGatesRegressions(t *testing.T) {
 		"BenchmarkKernelHuffmanDecode/table  10  1 ns/op  4.1 ns/elem",
 		"BenchmarkKernelHuffmanDecode/table  10  1 ns/op  5.9 ns/elem", 1)
 	sb.Reset()
-	err := runDeltas(strings.NewReader(regressed), &sb, baseline)
+	err := runDeltas(strings.NewReader(regressed), &sb, baseline, 8)
 	if err == nil || !strings.Contains(err.Error(), "regressed >10%") {
 		t.Fatalf("regressed run: err = %v, want regression failure", err)
 	}
@@ -184,13 +184,13 @@ func TestRunDeltasGatesRegressions(t *testing.T) {
 	missing := strings.Replace(healthyBench,
 		"BenchmarkKernelCAScan/fast  10  1 ns/op  2.6 ns/elem", "", 1)
 	sb.Reset()
-	err = runDeltas(strings.NewReader(missing), &sb, baseline)
+	err = runDeltas(strings.NewReader(missing), &sb, baseline, 8)
 	if err == nil || !strings.Contains(err.Error(), "missing after variant") {
 		t.Fatalf("missing-variant run: err = %v, want missing-variant failure", err)
 	}
 
 	sb.Reset()
-	if err := runDeltas(strings.NewReader("no bench lines here"), &sb, ""); err == nil {
+	if err := runDeltas(strings.NewReader("no bench lines here"), &sb, "", 8); err == nil {
 		t.Fatal("empty input accepted")
 	}
 }

@@ -282,6 +282,7 @@ func cmdEstimate(args []string, pack bool) error {
 		if err != nil {
 			return err
 		}
+		fw = fw.WithParallelism(*parallelism)
 		fmt.Printf("loaded %s model from %s\n", fw.Compressor().Name(), *model)
 	} else {
 		c, err := fxrz.ByName(*cname)
@@ -335,7 +336,11 @@ func cmdUnpack(args []string) error {
 	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
 	in := fs.String("in", "", "input stream (required)")
 	out := fs.String("o", "", "output field file (required)")
+	parallelism := fs.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
 	fs.Parse(args)
+	if err := checkParallelism("unpack", *parallelism); err != nil {
+		return err
+	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("unpack: -in and -o are required")
 	}
@@ -343,7 +348,7 @@ func cmdUnpack(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := fxrz.Decompress(blob)
+	f, err := fxrz.DecompressParallel(blob, *parallelism)
 	if err != nil {
 		return err
 	}
@@ -587,8 +592,12 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	in := fs.String("in", "", "input field file (required)")
 	rel := fs.Float64("rel", 1e-3, "error bound relative to the field's value range")
+	parallelism := fs.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
 	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := checkParallelism("bench", *parallelism); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("bench: -in is required")
 	}
@@ -606,6 +615,7 @@ func cmdBench(args []string) error {
 		if err != nil {
 			return err
 		}
+		c = fxrz.WithParallelism(c, *parallelism)
 		knob := *rel * vr
 		if name == "fpzip" {
 			knob = 16

@@ -124,6 +124,14 @@ func NewMGARD() Compressor { return mgard.New() }
 // codecs (FPZIP) cannot be wrapped.
 func WithRelativeBound(c Compressor) Compressor { return compress.NewRelBound(c) }
 
+// WithParallelism returns the codec configured for the given intra-field
+// worker budget (0 uses all cores, 1 forces serial). Codecs without
+// intra-field parallelism are returned unchanged. Output streams and
+// reconstructions are bit-identical at every setting.
+func WithParallelism(c Compressor, workers int) Compressor {
+	return compress.WithWorkers(c, workers)
+}
+
 // Compressors returns the four codecs of the paper's evaluation, in the
 // order the experiment tables list them.
 func Compressors() []Compressor {
@@ -171,7 +179,18 @@ func Train(c Compressor, fields []*Field, cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{inner: fw, codec: c}, nil
+	return &Framework{inner: fw, codec: compress.WithWorkers(c, cfg.Parallelism)}, nil
+}
+
+// WithParallelism returns a framework whose analysis passes and codec runs
+// use the given worker budget (0 uses all cores, 1 forces serial). The
+// trained model is shared; estimates, streams and reconstructions are
+// bit-identical at every setting.
+func (fw *Framework) WithParallelism(workers int) *Framework {
+	return &Framework{
+		inner: fw.inner.WithParallelism(workers),
+		codec: compress.WithWorkers(fw.codec, workers),
+	}
 }
 
 // EstimateConfig predicts the knob (error bound or precision) expected to
@@ -250,24 +269,33 @@ func BoundForPSNR(f *Field, targetPSNR float64) (float64, error) {
 }
 
 // Decompress reconstructs a field from any stream produced by the built-in
-// codecs, dispatching on the stream's magic byte.
-func Decompress(blob []byte) (*Field, error) {
+// codecs, dispatching on the stream's magic byte. It decodes serially; use
+// DecompressParallel to spend more cores on large fields.
+func Decompress(blob []byte) (*Field, error) { return DecompressParallel(blob, 1) }
+
+// DecompressParallel is Decompress with an intra-field worker budget (0 uses
+// all cores, 1 decodes serially). The reconstruction is bit-identical at
+// every setting.
+func DecompressParallel(blob []byte, workers int) (*Field, error) {
 	if len(blob) == 0 {
 		return nil, fmt.Errorf("fxrz: empty stream")
 	}
+	var c Compressor
 	switch blob[0] {
 	case compress.MagicSZ:
-		return sz.New().Decompress(blob)
+		c = sz.New()
 	case compress.MagicSZ2:
-		return sz.NewV2().Decompress(blob)
+		c = sz.NewV2()
 	case compress.MagicZFP:
-		return zfp.New().Decompress(blob)
+		c = zfp.New()
 	case compress.MagicFPZIP:
-		return fpzip.New().Decompress(blob)
+		c = fpzip.New()
 	case compress.MagicMGARD:
-		return mgard.New().Decompress(blob)
+		c = mgard.New()
+	default:
+		return nil, fmt.Errorf("fxrz: unrecognised stream (magic 0x%02x)", blob[0])
 	}
-	return nil, fmt.Errorf("fxrz: unrecognised stream (magic 0x%02x)", blob[0])
+	return compress.WithWorkers(c, workers).Decompress(blob)
 }
 
 // BrickStore is a chunked compressed representation of one field with

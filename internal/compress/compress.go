@@ -35,6 +35,30 @@ type Compressor interface {
 	Decompress(blob []byte) (*grid.Field, error)
 }
 
+// ParallelCompressor is implemented by codecs whose Compress/Decompress can
+// fan a single call out across a worker pool. The contract is strict: output
+// must be byte-identical (and reconstructions bit-identical) at every worker
+// budget, so binding a budget never invalidates a ratio curve, a trained
+// model, or a recorded baseline.
+type ParallelCompressor interface {
+	Compressor
+	// WithWorkers returns a codec bound to the given worker budget, with
+	// pool.Workers semantics: 0 selects all cores, 1 forces a fully serial
+	// run. The receiver is not modified.
+	WithWorkers(n int) Compressor
+}
+
+// WithWorkers binds a worker budget to c when the codec supports intra-field
+// parallelism, and returns c unchanged otherwise. Sweeps use it to split a
+// Parallelism budget between outer (per-task) and inner (per-call) fan-out
+// without caring which codecs can use the inner share.
+func WithWorkers(c Compressor, n int) Compressor {
+	if p, ok := c.(ParallelCompressor); ok {
+		return p.WithWorkers(n)
+	}
+	return c
+}
+
 // AxisKind distinguishes the two knob semantics in the evaluated codecs.
 type AxisKind int
 

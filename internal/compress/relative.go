@@ -51,3 +51,9 @@ func (r *RelBound) Compress(f *grid.Field, rel float64) ([]byte, error) {
 func (r *RelBound) Decompress(blob []byte) (*grid.Field, error) {
 	return r.Inner.Decompress(blob)
 }
+
+// WithWorkers implements ParallelCompressor by forwarding the budget to the
+// wrapped codec; wrapping a codec without intra-field parallelism is a no-op.
+func (r *RelBound) WithWorkers(n int) Compressor {
+	return &RelBound{Inner: WithWorkers(r.Inner, n)}
+}

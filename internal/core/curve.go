@@ -45,10 +45,15 @@ func BuildCurveParallel(c compress.Compressor, f *grid.Field, knobs []float64, w
 	if len(knobs) < 2 {
 		return nil, fmt.Errorf("core: need at least 2 stationary knobs, got %d", len(knobs))
 	}
+	// Split the budget between the knob sweep and each compressor's intra-field
+	// fan-out, and pin the inner width explicitly: a parallel-capable codec
+	// left at its zero value would otherwise grab all cores in every worker.
+	outer, inner := pool.Split(workers, len(knobs))
+	cc := compress.WithWorkers(c, inner)
 	pts := make([]Stationary, len(knobs))
-	err := pool.RunErr(workers, len(knobs), func(i int) error {
+	err := pool.RunErr(outer, len(knobs), func(i int) error {
 		k := knobs[i]
-		r, err := compress.CompressRatio(c, f, k)
+		r, err := compress.CompressRatio(cc, f, k)
 		if err != nil {
 			return fmt.Errorf("core: stationary point knob=%g on %s: %w", k, f.Name, err)
 		}

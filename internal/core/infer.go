@@ -43,7 +43,13 @@ func (fw *Framework) ValidRatioRange(f *grid.Field) (lo, hi float64) {
 	if fw.cfg.UseCA {
 		r = NonConstantRatioParallel(f, fw.cfg.BlockSide, fw.cfg.Lambda, pool.Workers(fw.cfg.Parallelism))
 	}
-	return fw.ratioLo / r, fw.ratioHi / r
+	lo, hi = fw.ratioLo/r, fw.ratioHi/r
+	// A hull loaded from an older model file (or hand-built for tests) may be
+	// inverted; callers expect lo <= hi regardless.
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
 }
 
 // EstimateConfig runs FXRZ inference: extract features from a stride sample

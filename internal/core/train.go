@@ -146,6 +146,16 @@ type Framework struct {
 	trainY []float64
 }
 
+// WithParallelism returns a copy of the framework whose analysis passes
+// (feature extraction, CA scan) run with the given worker budget
+// (pool.Workers semantics). The model, hull and stats are shared; estimates
+// are bit-identical at every setting.
+func (fw *Framework) WithParallelism(workers int) *Framework {
+	cp := *fw
+	cp.cfg.Parallelism = workers
+	return &cp
+}
+
 // SweepKnobs returns the stationary-point knob settings for a field: for
 // error-bound axes, n log-uniform bounds between RelKnobMin·range and
 // RelKnobMax·range; for precision axes, n integer precisions spanning the
@@ -255,10 +265,15 @@ func TrainWithCurves(c compress.Compressor, fields []*grid.Field, cfg Config, cu
 	t0 := time.Now()
 	stopSweep := obs.Span("train/sweep")
 	obs.Add("train/sweep_tasks", int64(len(tasks)))
-	err := pool.RunErr(workers, len(tasks), func(ti int) error {
+	// Budget rule for nested pools: outer×inner ≈ workers, and the codec is
+	// explicitly pinned to the inner width so a parallel-capable compressor's
+	// zero-value default (all cores) cannot oversubscribe inside each task.
+	sweepOuter, sweepInner := pool.Split(workers, len(tasks))
+	cc := compress.WithWorkers(c, sweepInner)
+	err := pool.RunErr(sweepOuter, len(tasks), func(ti int) error {
 		t := tasks[ti]
 		f := fields[t.field]
-		r, err := compress.CompressRatio(c, f, t.knob)
+		r, err := compress.CompressRatio(cc, f, t.knob)
 		if err != nil {
 			return fmt.Errorf("core: training on %s: core: stationary point knob=%g on %s: %w", f.Name, t.knob, f.Name, err)
 		}

@@ -6,6 +6,7 @@
 package entropy
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -83,6 +84,26 @@ func (w *BitWriter) Bytes() []byte {
 	return w.buf
 }
 
+// AppendBits splices the first nbits bits of src — a stream produced by
+// Bytes, LSB-first — onto this writer at its current bit position. Writing
+// a stream's chunks through AppendBits in order reproduces, bit for bit, the
+// stream a single writer would have produced, which is what lets parallel
+// encoders stitch per-chunk payloads back into the serial blob.
+func (w *BitWriter) AppendBits(src []byte, nbits int) {
+	i := 0
+	for ; nbits >= 64; nbits -= 64 {
+		w.WriteBits(binary.LittleEndian.Uint64(src[i:]), 64)
+		i += 8
+	}
+	if nbits > 0 {
+		var v uint64
+		for j := 0; j < (nbits+7)/8; j++ {
+			v |= uint64(src[i+j]) << (8 * j)
+		}
+		w.WriteBits(v, uint(nbits))
+	}
+}
+
 // NewPooledBitWriter returns a BitWriter whose backing buffer is recycled
 // through the package scratch pool. Once the slice returned by Bytes has been
 // copied out (e.g. appended to an output blob), hand it back with
@@ -103,6 +124,21 @@ type BitReader struct {
 
 // NewBitReader wraps an encoded stream for reading.
 func NewBitReader(b []byte) *BitReader { return &BitReader{buf: b} }
+
+// NewBitReaderAt wraps b for reading starting at the given bit offset, as if
+// a fresh reader had already consumed bitOff bits. Offsets at or past the end
+// of the stream are valid: reads there see the usual zero padding. Parallel
+// decoders use this to start workers at precomputed block offsets.
+func NewBitReaderAt(b []byte, bitOff int) *BitReader {
+	r := &BitReader{buf: b, pos: bitOff / 8}
+	if r.pos > len(b) {
+		r.pos = len(b)
+	}
+	if rem := uint(bitOff % 8); rem > 0 {
+		r.TryReadBits(rem)
+	}
+	return r
+}
 
 func (r *BitReader) fill() {
 	for r.nbits <= 56 && r.pos < len(r.buf) {

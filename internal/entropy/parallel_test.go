@@ -1,0 +1,206 @@
+package entropy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// AppendBits must splice a donor stream into a destination writer so the
+// combined stream equals writing every bit through one writer — for every
+// destination misalignment and donor length, including donors that end
+// mid-byte and mid-word.
+func TestAppendBitsEquivalentToSerialWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, preBits := range []int{0, 1, 3, 7, 8, 13, 63, 64, 65, 130} {
+		for _, donorBits := range []int{0, 1, 5, 8, 9, 64, 65, 127, 128, 300, 1000} {
+			pre := make([]bool, preBits)
+			for i := range pre {
+				pre[i] = rng.Intn(2) == 1
+			}
+			donorBools := make([]bool, donorBits)
+			for i := range donorBools {
+				donorBools[i] = rng.Intn(2) == 1
+			}
+
+			donor := new(BitWriter)
+			for _, b := range donorBools {
+				if b {
+					donor.WriteBit(1)
+				} else {
+					donor.WriteBit(0)
+				}
+			}
+			nbits := donor.BitLen()
+			if nbits != donorBits {
+				t.Fatalf("donor BitLen = %d, want %d", nbits, donorBits)
+			}
+			donorBytes := donor.Bytes()
+
+			spliced := new(BitWriter)
+			serial := new(BitWriter)
+			for _, b := range pre {
+				v := uint(0)
+				if b {
+					v = 1
+				}
+				spliced.WriteBit(v)
+				serial.WriteBit(v)
+			}
+			spliced.AppendBits(donorBytes, nbits)
+			for _, b := range donorBools {
+				if b {
+					serial.WriteBit(1)
+				} else {
+					serial.WriteBit(0)
+				}
+			}
+			if spliced.BitLen() != serial.BitLen() {
+				t.Fatalf("pre=%d donor=%d: BitLen %d != %d", preBits, donorBits, spliced.BitLen(), serial.BitLen())
+			}
+			if !bytes.Equal(spliced.Bytes(), serial.Bytes()) {
+				t.Fatalf("pre=%d donor=%d: spliced stream differs from serial stream", preBits, donorBits)
+			}
+		}
+	}
+}
+
+// NewBitReaderAt(b, off) must be indistinguishable from a fresh reader that
+// consumed off bits, for byte-aligned and unaligned offsets and offsets past
+// the end of the buffer (which read zeros, like TryRead* past the tail).
+func TestNewBitReaderAtMatchesConsumedReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]byte, 64)
+	rng.Read(buf)
+	totalBits := 8 * len(buf)
+
+	for _, off := range []int{0, 1, 7, 8, 9, 31, 32, 63, 64, 65, 200, totalBits - 3, totalBits, totalBits + 50} {
+		seq := NewBitReader(buf)
+		for rem := off; rem > 0; rem -= 64 {
+			n := rem
+			if n > 64 {
+				n = 64
+			}
+			seq.TryReadBits(uint(n))
+		}
+		at := NewBitReaderAt(buf, off)
+		for i := 0; i < 80; i++ {
+			want := seq.TryReadBit()
+			got := at.TryReadBit()
+			if got != want {
+				t.Fatalf("off=%d: bit %d after offset: got %d, want %d", off, i, got, want)
+			}
+		}
+	}
+}
+
+// randomSymbols returns n symbols over the alphabet with a skewed
+// distribution so the Huffman tree has mixed code lengths.
+func randomSymbols(rng *rand.Rand, n, alphabet int) []uint32 {
+	syms := make([]uint32, n)
+	for i := range syms {
+		if rng.Intn(4) == 0 {
+			syms[i] = uint32(rng.Intn(alphabet))
+		} else {
+			syms[i] = uint32(rng.Intn(1 + alphabet/16))
+		}
+	}
+	return syms
+}
+
+// Sharded frequency counting must produce byte-identical Huffman streams at
+// every worker count, above and below the sharding cutoff.
+func TestHuffmanEncodeParallelIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sizes := []int{0, 1, 100, freqShardMin - 1, freqShardMin, freqShardMin + 7, 3 * freqShardMin}
+	for _, n := range sizes {
+		for _, alphabet := range []int{2, 97, 1 << 16} {
+			syms := randomSymbols(rng, n, alphabet)
+			want, err := HuffmanEncode(syms, alphabet)
+			if err != nil {
+				t.Fatalf("n=%d alphabet=%d: serial encode: %v", n, alphabet, err)
+			}
+			for _, workers := range []int{2, 3, 5, 16} {
+				got, err := HuffmanEncodeParallel(syms, alphabet, workers)
+				if err != nil {
+					t.Fatalf("n=%d alphabet=%d w=%d: %v", n, alphabet, workers, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("n=%d alphabet=%d w=%d: parallel blob differs from serial", n, alphabet, workers)
+				}
+			}
+			dec, err := HuffmanDecode(want)
+			if err != nil {
+				t.Fatalf("n=%d alphabet=%d: decode: %v", n, alphabet, err)
+			}
+			if len(dec) != len(syms) {
+				t.Fatalf("n=%d alphabet=%d: decode length %d != %d", n, alphabet, len(dec), len(syms))
+			}
+		}
+	}
+}
+
+// The out-of-alphabet error must name the same symbol — the first bad one in
+// input order — at every worker count, even when later shards contain
+// earlier-valued bad symbols.
+func TestHuffmanEncodeParallelFirstBadSymbol(t *testing.T) {
+	n := 2*freqShardMin + 11
+	syms := make([]uint32, n)
+	for i := range syms {
+		syms[i] = uint32(i % 50)
+	}
+	syms[freqShardMin/2] = 77 // first in input order
+	syms[n-1] = 60            // also bad, later shard, smaller index within shard
+
+	want, err := HuffmanEncode(syms, 50)
+	if err == nil {
+		t.Fatal("serial encode of bad symbols succeeded")
+	}
+	_ = want
+	for _, workers := range []int{2, 3, 8} {
+		_, perr := HuffmanEncodeParallel(syms, 50, workers)
+		if perr == nil {
+			t.Fatalf("w=%d: parallel encode of bad symbols succeeded", workers)
+		}
+		if perr.Error() != err.Error() {
+			t.Fatalf("w=%d: error %q differs from serial %q", workers, perr, err)
+		}
+	}
+}
+
+// CompressBytesParallel must be byte-identical to CompressBytes and round-trip
+// through the unchanged serial decoder.
+func TestCompressBytesParallelIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 1000, 2*freqShardMin + 333} {
+		src := make([]byte, n)
+		for i := range src {
+			// Compressible mix: runs plus noise.
+			if rng.Intn(3) == 0 {
+				src[i] = byte(rng.Intn(256))
+			} else {
+				src[i] = byte(i / 64)
+			}
+		}
+		want, err := CompressBytes(src)
+		if err != nil {
+			t.Fatalf("n=%d: serial: %v", n, err)
+		}
+		for _, workers := range []int{2, 3, 7} {
+			got, err := CompressBytesParallel(src, workers)
+			if err != nil {
+				t.Fatalf("n=%d w=%d: %v", n, workers, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d w=%d: parallel blob differs from serial", n, workers)
+			}
+		}
+		back, err := DecompressBytes(want)
+		if err != nil {
+			t.Fatalf("n=%d: decompress: %v", n, err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMaxGauge(t *testing.T) {
+	withLive(t, func() {
+		MaxGauge("peak", 5)
+		MaxGauge("peak", 3) // lower: must not regress
+		MaxGauge("peak", 9)
+		MaxGauge("peak", 9) // equal: no-op
+		s := TakeSnapshot()
+		if s.Gauges["peak"] != 9 {
+			t.Errorf("peak = %d, want 9", s.Gauges["peak"])
+		}
+	})
+}
+
+// Concurrent raisers must settle on the global maximum (the CAS loop's whole
+// point); run under -race.
+func TestMaxGaugeConcurrent(t *testing.T) {
+	withLive(t, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for v := 0; v <= 1000; v++ {
+					MaxGauge("peak", int64(v*8+g))
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := TakeSnapshot().Gauges["peak"]; got != 8007 {
+			t.Errorf("peak = %d, want 8007", got)
+		}
+	})
+}
+
+func TestMaxGaugeDisabledIsInert(t *testing.T) {
+	Disable()
+	MaxGauge("peak", 42)
+	if s := TakeSnapshot(); len(s.Gauges) != 0 {
+		t.Fatalf("disabled snapshot not empty: %+v", s.Gauges)
+	}
+}

@@ -41,6 +41,8 @@ type Recorder interface {
 	SetGauge(name string, v int64)
 	// AddGauge adds delta to the named gauge.
 	AddGauge(name string, delta int64)
+	// MaxGauge raises the named gauge to v if v exceeds its current value.
+	MaxGauge(name string, v int64)
 	// Observe records one duration sample in the named timing histogram.
 	Observe(name string, d time.Duration)
 	// Span starts a scoped timer; calling the returned func records the
@@ -62,6 +64,7 @@ var nopStop = func() {}
 func (nop) Add(string, int64)             {}
 func (nop) SetGauge(string, int64)        {}
 func (nop) AddGauge(string, int64)        {}
+func (nop) MaxGauge(string, int64)        {}
 func (nop) Observe(string, time.Duration) {}
 func (nop) Span(string) func()            { return nopStop }
 func (nop) Snapshot() *Snapshot           { return &Snapshot{} }
@@ -99,9 +102,21 @@ func (l *live) hist(name string) *Histogram {
 	return v.(*Histogram)
 }
 
-func (l *live) Add(name string, delta int64)         { l.counter(name).Add(delta) }
-func (l *live) SetGauge(name string, v int64)        { l.gauge(name).Store(v) }
-func (l *live) AddGauge(name string, delta int64)    { l.gauge(name).Add(delta) }
+func (l *live) Add(name string, delta int64)      { l.counter(name).Add(delta) }
+func (l *live) SetGauge(name string, v int64)     { l.gauge(name).Store(v) }
+func (l *live) AddGauge(name string, delta int64) { l.gauge(name).Add(delta) }
+
+// MaxGauge is a CAS loop so concurrent writers (e.g. wavefront workers
+// reporting their widest hyperplane) settle on the true maximum.
+func (l *live) MaxGauge(name string, v int64) {
+	g := l.gauge(name)
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 func (l *live) Observe(name string, d time.Duration) { l.hist(name).Observe(d) }
 
 func (l *live) Span(name string) func() {
@@ -180,6 +195,9 @@ func SetGauge(name string, v int64) { active.Load().r.SetGauge(name, v) }
 
 // AddGauge adds delta to the named gauge.
 func AddGauge(name string, delta int64) { active.Load().r.AddGauge(name, delta) }
+
+// MaxGauge raises the named gauge to v if v exceeds its current value.
+func MaxGauge(name string, v int64) { active.Load().r.MaxGauge(name, v) }
 
 // Observe records one duration sample in the named timing histogram.
 func Observe(name string, d time.Duration) { active.Load().r.Observe(name, d) }

@@ -28,6 +28,27 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Split divides a worker budget between an outer fan-out of ntasks tasks and
+// the inner parallelism available to each task, keeping the total goroutine
+// count at roughly the budget: outer = min(budget, ntasks) workers run tasks,
+// and each task may use inner = max(1, budget/outer) workers of its own.
+// A budget of 1 yields (1, 1) — fully serial at both levels — which is what
+// keeps Config.Parallelism=1 deterministic debugging runs single-threaded.
+func Split(budget, ntasks int) (outer, inner int) {
+	outer = budget
+	if outer > ntasks {
+		outer = ntasks
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
 // Run invokes fn(i) for every i in [0, n) using at most `workers`
 // concurrent goroutines and returns when every invocation has completed.
 // workers is clamped to n; workers <= 1 (or n <= 1) runs every task

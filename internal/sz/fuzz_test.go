@@ -1,6 +1,7 @@
 package sz
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -30,7 +31,7 @@ func FuzzDecompress(f *testing.F) {
 		// The specialized decode kernels must agree with the generic odometer
 		// on arbitrary (including corrupt) streams: same error verdict, same
 		// reconstructed bit patterns.
-		gg, gerr := decompressSZ(data, true)
+		gg, gerr := decompressSZ(data, true, 1)
 		if (err == nil) != (gerr == nil) {
 			t.Fatalf("fast err=%v, generic err=%v", err, gerr)
 		}
@@ -40,6 +41,32 @@ func FuzzDecompress(f *testing.F) {
 					t.Fatalf("sample %d: fast %x, generic %x",
 						i, math.Float32bits(g.Data[i]), math.Float32bits(gg.Data[i]))
 				}
+			}
+		}
+		// The wavefront decoder must agree with the serial one on the same
+		// arbitrary input — identical verdict and identical bits — and a
+		// round trip through both compressors must emit identical blobs.
+		for _, w := range []int{2, 3} {
+			pg, perr := decompressSZ(data, false, w)
+			if (err == nil) != (perr == nil) {
+				t.Fatalf("w=%d: serial err=%v, parallel err=%v", w, err, perr)
+			}
+			if err != nil {
+				continue
+			}
+			for i := range g.Data {
+				if math.Float32bits(g.Data[i]) != math.Float32bits(pg.Data[i]) {
+					t.Fatalf("w=%d sample %d: serial %x, parallel %x",
+						w, i, math.Float32bits(g.Data[i]), math.Float32bits(pg.Data[i]))
+				}
+			}
+			sBlob, serr := compressSZ(g, 1e-3, false, 1)
+			pBlob, perr2 := compressSZ(g, 1e-3, false, w)
+			if (serr == nil) != (perr2 == nil) {
+				t.Fatalf("w=%d: recompress serial err=%v, parallel err=%v", w, serr, perr2)
+			}
+			if serr == nil && !bytes.Equal(sBlob, pBlob) {
+				t.Fatalf("w=%d: recompressed parallel blob differs from serial", w)
 			}
 		}
 	})

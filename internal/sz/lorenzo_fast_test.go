@@ -69,8 +69,8 @@ func TestCompressFastMatchesGenericBitwise(t *testing.T) {
 	for _, shape := range identityShapes {
 		for _, f := range identityFields(t, shape) {
 			for _, eb := range []float64{1e-3, 1e-7, 1e3} {
-				blobG, errG := compressSZ(f, eb, true)
-				blobF, errF := compressSZ(f, eb, false)
+				blobG, errG := compressSZ(f, eb, true, 1)
+				blobF, errF := compressSZ(f, eb, false, 1)
 				if (errG == nil) != (errF == nil) {
 					t.Fatalf("%v/%s eb=%g: generic err=%v, fast err=%v", shape, f.Name, eb, errG, errF)
 				}
@@ -82,8 +82,8 @@ func TestCompressFastMatchesGenericBitwise(t *testing.T) {
 						shape, f.Name, eb, len(blobG), len(blobF))
 				}
 
-				gG, errG := decompressSZ(blobG, true)
-				gF, errF := decompressSZ(blobG, false)
+				gG, errG := decompressSZ(blobG, true, 1)
+				gF, errF := decompressSZ(blobG, false, 1)
 				if errG != nil || errF != nil {
 					t.Fatalf("%v/%s eb=%g: decompress generic err=%v fast err=%v", shape, f.Name, eb, errG, errF)
 				}
@@ -106,15 +106,15 @@ func TestReconstructFastMatchesGenericOnTruncatedRaw(t *testing.T) {
 	for i := range f.Data {
 		f.Data[i] = float32(math.Inf(1)) // every sample escapes
 	}
-	blob, err := compressSZ(f, 1e-3, false)
+	blob, err := compressSZ(f, 1e-3, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Decompressing a prefix tends to truncate the raw pool; both paths must
 	// fail (or succeed) identically.
 	for cut := len(blob) - 1; cut > len(blob)-16 && cut > 0; cut-- {
-		gG, errG := decompressSZ(blob[:cut], true)
-		gF, errF := decompressSZ(blob[:cut], false)
+		gG, errG := decompressSZ(blob[:cut], true, 1)
+		gF, errF := decompressSZ(blob[:cut], false, 1)
 		if (errG == nil) != (errF == nil) {
 			t.Fatalf("cut=%d: generic err=%v, fast err=%v", cut, errG, errF)
 		}

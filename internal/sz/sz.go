@@ -20,6 +20,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/entropy"
 	"github.com/fxrz-go/fxrz/internal/grid"
 	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
 // quantization alphabet: code 0 escapes to the raw path, codes 1..intervals-1
@@ -30,7 +31,13 @@ const (
 )
 
 // Compressor is the SZ-like codec. The zero value is ready to use.
-type Compressor struct{}
+type Compressor struct {
+	// Workers bounds the intra-field fan-out (pool.Workers semantics: 0 uses
+	// all cores, 1 forces a serial run). The 2D/3D Lorenzo sweeps run as
+	// anti-diagonal wavefronts and the Huffman frequency count is sharded;
+	// blobs and reconstructions are bit-identical at every setting.
+	Workers int
+}
 
 // New returns an SZ-like compressor.
 func New() *Compressor { return &Compressor{} }
@@ -43,15 +50,18 @@ func (*Compressor) Axis() compress.Axis {
 	return compress.Axis{Kind: compress.AbsErrorBound, Min: 1e-12, Max: 1e6}
 }
 
+// WithWorkers implements compress.ParallelCompressor.
+func (c *Compressor) WithWorkers(n int) compress.Compressor { return &Compressor{Workers: n} }
+
 // Compress implements compress.Compressor.
-func (*Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
-	return compressSZ(f, eb, false)
+func (c *Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
+	return compressSZ(f, eb, false, pool.Workers(c.Workers))
 }
 
 // compressSZ is the Compress implementation; forceGeneric pins the
 // quantization pass to the N-d odometer oracle so tests can prove the
 // specialized kernels emit identical blobs.
-func compressSZ(f *grid.Field, eb float64, forceGeneric bool) ([]byte, error) {
+func compressSZ(f *grid.Field, eb float64, forceGeneric bool, workers int) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz: error bound must be a positive finite number, got %v", eb)
 	}
@@ -67,13 +77,20 @@ func compressSZ(f *grid.Field, eb float64, forceGeneric bool) ([]byte, error) {
 	// the kernels never reallocate.
 	rawBuf := getF32s(n)[:0]
 	defer putF32s(rawBuf[:cap(rawBuf)])
-	raw := quantizeField(f, eb, codes, recon, rawBuf, forceGeneric)
+	var raw []float32
+	handled := false
+	if !forceGeneric {
+		raw, handled = quantizeFieldParallel(f, eb, codes, recon, rawBuf, workers)
+	}
+	if !handled {
+		raw = quantizeField(f, eb, codes, recon, rawBuf, forceGeneric)
+	}
 
 	codeBytes := getScratchBytes(2 * n)
 	for i, c := range codes {
 		binary.LittleEndian.PutUint16(codeBytes[2*i:], c)
 	}
-	packedCodes, err := entropy.CompressBytes(codeBytes)
+	packedCodes, err := entropy.CompressBytesParallel(codeBytes, workers)
 	putScratchBytes(codeBytes)
 	if err != nil {
 		return nil, fmt.Errorf("sz: encode codes: %w", err)
@@ -93,13 +110,13 @@ func compressSZ(f *grid.Field, eb float64, forceGeneric bool) ([]byte, error) {
 }
 
 // Decompress implements compress.Compressor.
-func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
-	return decompressSZ(blob, false)
+func (c *Compressor) Decompress(blob []byte) (*grid.Field, error) {
+	return decompressSZ(blob, false, pool.Workers(c.Workers))
 }
 
 // decompressSZ is the Decompress implementation; forceGeneric pins the
 // reconstruction pass to the N-d odometer oracle (see compressSZ).
-func decompressSZ(blob []byte, forceGeneric bool) (*grid.Field, error) {
+func decompressSZ(blob []byte, forceGeneric bool, workers int) (*grid.Field, error) {
 	defer obs.Span("decompress/sz")()
 	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
 	if err != nil {
@@ -132,8 +149,18 @@ func decompressSZ(blob []byte, forceGeneric bool) (*grid.Field, error) {
 	if len(codeBytes) != 2*n {
 		return nil, fmt.Errorf("sz: %w: %d code bytes for %d points", compress.ErrCorrupt, len(codeBytes), n)
 	}
-	if err := reconstructField(f, h.Knob, codeBytes, payload, nraw, forceGeneric); err != nil {
-		return nil, err
+	handled := false
+	if !forceGeneric {
+		var perr error
+		handled, perr = reconstructFieldParallel(f, h.Knob, codeBytes, payload, nraw, workers)
+		if perr != nil {
+			return nil, perr
+		}
+	}
+	if !handled {
+		if err := reconstructField(f, h.Knob, codeBytes, payload, nraw, forceGeneric); err != nil {
+			return nil, err
+		}
 	}
 	return f, nil
 }

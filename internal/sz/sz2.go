@@ -9,6 +9,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/entropy"
 	"github.com/fxrz-go/fxrz/internal/grid"
 	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
 // V2 is an SZ2-style compressor (Liang et al., 2018 — the "SZ 2.x" the
@@ -21,7 +22,13 @@ import (
 //
 // The error-bound contract is identical to the classic codec:
 // |decompressed - original| <= eb pointwise.
-type V2 struct{}
+type V2 struct {
+	// Workers bounds the intra-field fan-out (pool.Workers semantics). The
+	// blockwise Lorenzo-vs-regression walk is sequential through the shared
+	// reconstruction, so only the entropy stage's frequency count fans out;
+	// output is byte-identical at every setting.
+	Workers int
+}
 
 // NewV2 returns an SZ2-style compressor.
 func NewV2() *V2 { return &V2{} }
@@ -34,11 +41,14 @@ func (*V2) Axis() compress.Axis {
 	return compress.Axis{Kind: compress.AbsErrorBound, Min: 1e-12, Max: 1e6}
 }
 
+// WithWorkers implements compress.ParallelCompressor.
+func (c *V2) WithWorkers(n int) compress.Compressor { return &V2{Workers: n} }
+
 // regBlockSide matches SZ2's default prediction block.
 const regBlockSide = 6
 
 // Compress implements compress.Compressor.
-func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
+func (c *V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz2: error bound must be a positive finite number, got %v", eb)
 	}
@@ -141,12 +151,13 @@ func (*V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	for i, c := range codes {
 		binary.LittleEndian.PutUint16(codeBytes[2*i:], c)
 	}
-	packedCodes, err := entropy.CompressBytes(codeBytes)
+	workers := pool.Workers(c.Workers)
+	packedCodes, err := entropy.CompressBytesParallel(codeBytes, workers)
 	putScratchBytes(codeBytes)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: encode codes: %w", err)
 	}
-	packedCoeffs, err := entropy.CompressBytes(coeffCodes)
+	packedCoeffs, err := entropy.CompressBytesParallel(coeffCodes, workers)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: encode coefficients: %w", err)
 	}

@@ -1,0 +1,483 @@
+package sz
+
+// Wavefront-parallel Lorenzo quantization and reconstruction.
+//
+// The Lorenzo stencil at a point reads only neighbors at offset -1 in each
+// dimension, so all points on an anti-diagonal hyperplane are mutually
+// independent once the previous hyperplanes are done. In 3D the work unit is
+// a full x-row keyed by (z, y): row (z, y) depends only on rows (z-1, y),
+// (z, y-1) and (z-1, y-1), all on earlier wavefronts w = z + y. In 2D a row
+// is the sequential unit itself, so rows are cut into column tiles and the
+// unit is (y, tx) on wavefront w = y + tx: a tile's in-row dependency is the
+// previous tile of the same row (wavefront w-1) and its cross-row
+// dependencies are tiles (y-1, tx) and (y-1, tx-1) (wavefronts w-1, w-2).
+// 1D is a single dependency chain and 4D uses the generic odometer; both
+// stay serial (the parallel entry points simply decline them).
+//
+// Bit-identity: every point is quantized by the same stencil arithmetic in
+// the same per-point order as the serial kernels (the tile/row kernels below
+// replicate quantize2D/quantize3D term for term), and the wavefront only
+// changes *when* a point is processed relative to points it provably does not
+// depend on. Escapes are marked in the codes array during the sweep and the
+// raw pool is collected afterwards in one serial row-major pass, which yields
+// the exact append order of the serial encoder. On the decode side a serial
+// prescan over the codes computes each unit's starting raw-pool cursor by
+// prefix sum, and reproduces the serial decoder's pool-exhaustion error
+// exactly: the serial path fails if and only if the total number of escapes
+// exceeds the pool, which the prescan knows up front.
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/pool"
+)
+
+const (
+	// szParMinPoints gates the wavefront: smaller fields finish faster
+	// serially than the per-hyperplane barriers cost. Size-based only — the
+	// worker count never influences routing.
+	szParMinPoints = 1 << 13
+	// szParMinTileW is the narrowest useful 2D column tile; narrower tiles
+	// spend more time on barriers than on points.
+	szParMinTileW = 128
+)
+
+// encPointMark is encPoint with the raw-pool append deferred: escapes leave
+// code 0 and the verbatim value in recon, and collectRaw gathers them later
+// in row-major order. Quantization arithmetic is identical to encPoint.
+func encPointMark(data []float32, idx int, pred, eb, twoEB float64, codes []uint16, recon []float32) {
+	v := float64(data[idx])
+	q := math.Round((v - pred) / twoEB)
+	if !math.IsNaN(q) && !math.IsInf(q, 0) {
+		if code := int64(q) + radius; code > 0 && code < intervals {
+			rec := float32(pred + twoEB*q)
+			if math.Abs(float64(rec)-v) <= eb {
+				codes[idx] = uint16(code)
+				recon[idx] = rec
+				return
+			}
+		}
+	}
+	codes[idx] = 0
+	recon[idx] = data[idx]
+}
+
+// decPointAt is decPoint for callers that already know the escape cursor is
+// in range (the prescan validated the whole stream), so it has no exhaustion
+// branch. It returns the updated cursor.
+func decPointAt(data []float32, idx int, pred, twoEB float64, codeBytes, rawPayload []byte, rawPos int) int {
+	code := binary.LittleEndian.Uint16(codeBytes[2*idx:])
+	if code != 0 {
+		data[idx] = float32(pred + twoEB*float64(int(code)-radius))
+		return rawPos
+	}
+	data[idx] = math.Float32frombits(binary.LittleEndian.Uint32(rawPayload[4*rawPos:]))
+	return rawPos + 1
+}
+
+// tileCount picks the number of 2D column tiles: enough to keep the budget
+// busy, never narrower than szParMinTileW. One tile means the wavefront
+// would degenerate to row-serial order with pure overhead, so callers fall
+// back to the serial kernel below 2.
+func tileCount(nx, workers int) int {
+	ntx := nx / szParMinTileW
+	if lim := 2 * workers; ntx > lim {
+		ntx = lim
+	}
+	return ntx
+}
+
+// quantizeFieldParallel runs the wavefront quantization sweep when the field
+// shape supports it, returning (raw, true), or (raw, false) untouched when
+// the caller should use the serial path. The blob downstream is identical
+// either way.
+func quantizeFieldParallel(f *grid.Field, eb float64, codes []uint16, recon, raw []float32, workers int) ([]float32, bool) {
+	if workers <= 1 || len(f.Data) < szParMinPoints {
+		return raw, false
+	}
+	switch len(f.Dims) {
+	case 2:
+		ny, nx := f.Dims[0], f.Dims[1]
+		ntx := tileCount(nx, workers)
+		if ntx < 2 {
+			return raw, false
+		}
+		quantizeWavefront2D(f.Data, ny, nx, ntx, eb, codes, recon, workers)
+	case 3:
+		quantizeWavefront3D(f.Data, f.Dims, eb, codes, recon, workers)
+	default:
+		return raw, false
+	}
+	obs.Add("sz/quantize_wavefront_points", int64(len(f.Data)))
+	stop := obs.Span("sz/raw_collect")
+	raw = collectRaw(f.Data, codes, raw)
+	stop()
+	return raw, true
+}
+
+// collectRaw appends every escaped point's value to raw in row-major order —
+// the exact sequence the serial kernels build with in-stream appends.
+func collectRaw(data []float32, codes []uint16, raw []float32) []float32 {
+	for idx, c := range codes {
+		if c == 0 {
+			raw = append(raw, data[idx])
+		}
+	}
+	return raw
+}
+
+// waveBounds returns the inclusive index range [lo, hi] of the second
+// coordinate (tile or z) active on wavefront w when the first coordinate has
+// n1 values and the second has n2: lo..hi are the values of the second
+// coordinate c2 with 0 <= w-c2 < n1 and c2 < n2.
+func waveBounds(w, n1, n2 int) (lo, hi int) {
+	lo, hi = w-(n1-1), w
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n2-1 {
+		hi = n2 - 1
+	}
+	return lo, hi
+}
+
+// quantizeWavefront2D sweeps (y, tile) units along anti-diagonals
+// w = y + tx. Each unit runs the serial row kernel's arithmetic over its
+// column range [tx*tileW, min((tx+1)*tileW, nx)).
+func quantizeWavefront2D(data []float32, ny, nx, ntx int, eb float64, codes []uint16, recon []float32, workers int) {
+	tileW := (nx + ntx - 1) / ntx
+	twoEB := 2 * eb
+	nwaves := ny + ntx - 1
+	obs.Add("sz/wavefronts", int64(nwaves))
+	for w := 0; w < nwaves; w++ {
+		lo, hi := waveBounds(w, ny, ntx)
+		obs.MaxGauge("sz/wavefront_max_width", int64(hi-lo+1))
+		wv := w
+		pool.Run(workers, hi-lo+1, func(t int) {
+			tx := lo + t
+			y := wv - tx
+			x1 := (tx + 1) * tileW
+			if x1 > nx {
+				x1 = nx
+			}
+			encTile2D(data, nx, y, tx*tileW, x1, eb, twoEB, codes, recon)
+		})
+	}
+}
+
+// encTile2D quantizes columns [x0, x1) of row y, replicating quantize2D's
+// stencil accumulation term for term.
+func encTile2D(data []float32, nx, y, x0, x1 int, eb, twoEB float64, codes []uint16, recon []float32) {
+	idx := y*nx + x0
+	x := x0
+	if y == 0 {
+		if x == 0 {
+			encPointMark(data, idx, 0, eb, twoEB, codes, recon)
+			idx++
+			x++
+		}
+		for ; x < x1; x++ {
+			pred := 0.0
+			pred += float64(recon[idx-1])
+			encPointMark(data, idx, pred, eb, twoEB, codes, recon)
+			idx++
+		}
+		return
+	}
+	if x == 0 {
+		pred := 0.0
+		pred += float64(recon[idx-nx])
+		encPointMark(data, idx, pred, eb, twoEB, codes, recon)
+		idx++
+		x++
+	}
+	for ; x < x1; x++ {
+		p := 0.0
+		p += float64(recon[idx-nx])
+		p += float64(recon[idx-1])
+		p -= float64(recon[idx-nx-1])
+		encPointMark(data, idx, p, eb, twoEB, codes, recon)
+		idx++
+	}
+}
+
+// quantizeWavefront3D sweeps full x-rows keyed (z, y) along anti-diagonals
+// w = z + y.
+func quantizeWavefront3D(data []float32, dims []int, eb float64, codes []uint16, recon []float32, workers int) {
+	nz, ny, nx := dims[0], dims[1], dims[2]
+	twoEB := 2 * eb
+	nwaves := nz + ny - 1
+	obs.Add("sz/wavefronts", int64(nwaves))
+	for w := 0; w < nwaves; w++ {
+		lo, hi := waveBounds(w, ny, nz)
+		obs.MaxGauge("sz/wavefront_max_width", int64(hi-lo+1))
+		wv := w
+		pool.Run(workers, hi-lo+1, func(t int) {
+			z := lo + t
+			encRow3D(data, ny, nx, z, wv-z, eb, twoEB, codes, recon)
+		})
+	}
+}
+
+// encRow3D quantizes row (z, y), replicating quantize3D's first-column and
+// interior stencils term for term.
+func encRow3D(data []float32, ny, nx, z, y int, eb, twoEB float64, codes []uint16, recon []float32) {
+	s1 := nx
+	s0 := ny * nx
+	idx := z*s0 + y*s1
+	pred := 0.0
+	if z > 0 {
+		pred += float64(recon[idx-s0])
+	}
+	if y > 0 {
+		pred += float64(recon[idx-s1])
+		if z > 0 {
+			pred -= float64(recon[idx-s0-s1])
+		}
+	}
+	encPointMark(data, idx, pred, eb, twoEB, codes, recon)
+	idx++
+	switch {
+	case z > 0 && y > 0:
+		for x := 1; x < nx; x++ {
+			p := 0.0
+			p += float64(recon[idx-s0])
+			p += float64(recon[idx-s1])
+			p -= float64(recon[idx-s0-s1])
+			p += float64(recon[idx-1])
+			p -= float64(recon[idx-s0-1])
+			p -= float64(recon[idx-s1-1])
+			p += float64(recon[idx-s0-s1-1])
+			encPointMark(data, idx, p, eb, twoEB, codes, recon)
+			idx++
+		}
+	case z > 0:
+		for x := 1; x < nx; x++ {
+			p := 0.0
+			p += float64(recon[idx-s0])
+			p += float64(recon[idx-1])
+			p -= float64(recon[idx-s0-1])
+			encPointMark(data, idx, p, eb, twoEB, codes, recon)
+			idx++
+		}
+	case y > 0:
+		for x := 1; x < nx; x++ {
+			p := 0.0
+			p += float64(recon[idx-s1])
+			p += float64(recon[idx-1])
+			p -= float64(recon[idx-s1-1])
+			encPointMark(data, idx, p, eb, twoEB, codes, recon)
+			idx++
+		}
+	default:
+		for x := 1; x < nx; x++ {
+			p := 0.0
+			p += float64(recon[idx-1])
+			encPointMark(data, idx, p, eb, twoEB, codes, recon)
+			idx++
+		}
+	}
+}
+
+// reconstructFieldParallel mirrors quantizeFieldParallel on the decode side:
+// it returns (true, err) when it handled the field with the wavefront sweep
+// and (false, nil) when the caller should use the serial path.
+func reconstructFieldParallel(f *grid.Field, eb float64, codeBytes, rawPayload []byte, nraw uint64, workers int) (bool, error) {
+	if workers <= 1 || len(f.Data) < szParMinPoints {
+		return false, nil
+	}
+	switch len(f.Dims) {
+	case 2:
+		ny, nx := f.Dims[0], f.Dims[1]
+		ntx := tileCount(nx, workers)
+		if ntx < 2 {
+			return false, nil
+		}
+		return true, reconstructWavefront2D(f.Data, ny, nx, ntx, eb, codeBytes, rawPayload, nraw, workers)
+	case 3:
+		return true, reconstructWavefront3D(f.Data, f.Dims, eb, codeBytes, rawPayload, nraw, workers)
+	default:
+		return false, nil
+	}
+}
+
+// prescanEscapes walks units of the given extent in row-major unit order and
+// returns each unit's starting raw-pool cursor plus the total escape count.
+// unitLen(u) must return the codes covered by unit u as a contiguous-in-unit
+// iteration; since escapes only depend on the codes, one serial pass suffices.
+func prescanEscapes(codeBytes []byte, nunits int, unitIdx func(u int) (start, count, stride int)) (starts []int, total int) {
+	starts = make([]int, nunits)
+	for u := 0; u < nunits; u++ {
+		starts[u] = total
+		start, count, stride := unitIdx(u)
+		idx := start
+		for i := 0; i < count; i++ {
+			if codeBytes[2*idx] == 0 && codeBytes[2*idx+1] == 0 {
+				total++
+			}
+			idx += stride
+		}
+	}
+	return starts, total
+}
+
+func reconstructWavefront2D(data []float32, ny, nx, ntx int, eb float64, codeBytes, rawPayload []byte, nraw uint64, workers int) error {
+	tileW := (nx + ntx - 1) / ntx
+	twoEB := 2 * eb
+	stop := obs.Span("sz/raw_prescan")
+	// Unit u = y*ntx + tx covers row y, columns [tx*tileW, x1).
+	starts, total := prescanEscapes(codeBytes, ny*ntx, func(u int) (int, int, int) {
+		y, tx := u/ntx, u%ntx
+		x0 := tx * tileW
+		x1 := x0 + tileW
+		if x1 > nx {
+			x1 = nx
+		}
+		return y*nx + x0, x1 - x0, 1
+	})
+	stop()
+	if uint64(total) > nraw {
+		return errRawExhausted()
+	}
+	nwaves := ny + ntx - 1
+	obs.Add("sz/wavefronts", int64(nwaves))
+	for w := 0; w < nwaves; w++ {
+		lo, hi := waveBounds(w, ny, ntx)
+		wv := w
+		pool.Run(workers, hi-lo+1, func(t int) {
+			tx := lo + t
+			y := wv - tx
+			x1 := (tx + 1) * tileW
+			if x1 > nx {
+				x1 = nx
+			}
+			decTile2D(data, nx, y, tx*tileW, x1, twoEB, codeBytes, rawPayload, starts[y*ntx+tx])
+		})
+	}
+	return nil
+}
+
+// decTile2D reconstructs columns [x0, x1) of row y with the serial kernel's
+// stencils, starting its raw cursor at rawPos.
+func decTile2D(data []float32, nx, y, x0, x1 int, twoEB float64, codeBytes, rawPayload []byte, rawPos int) {
+	idx := y*nx + x0
+	x := x0
+	if y == 0 {
+		if x == 0 {
+			rawPos = decPointAt(data, idx, 0, twoEB, codeBytes, rawPayload, rawPos)
+			idx++
+			x++
+		}
+		for ; x < x1; x++ {
+			pred := 0.0
+			pred += float64(data[idx-1])
+			rawPos = decPointAt(data, idx, pred, twoEB, codeBytes, rawPayload, rawPos)
+			idx++
+		}
+		return
+	}
+	if x == 0 {
+		pred := 0.0
+		pred += float64(data[idx-nx])
+		rawPos = decPointAt(data, idx, pred, twoEB, codeBytes, rawPayload, rawPos)
+		idx++
+		x++
+	}
+	for ; x < x1; x++ {
+		p := 0.0
+		p += float64(data[idx-nx])
+		p += float64(data[idx-1])
+		p -= float64(data[idx-nx-1])
+		rawPos = decPointAt(data, idx, p, twoEB, codeBytes, rawPayload, rawPos)
+		idx++
+	}
+}
+
+func reconstructWavefront3D(data []float32, dims []int, eb float64, codeBytes, rawPayload []byte, nraw uint64, workers int) error {
+	nz, ny, nx := dims[0], dims[1], dims[2]
+	twoEB := 2 * eb
+	stop := obs.Span("sz/raw_prescan")
+	// Unit u = z*ny + y covers the contiguous row starting at (z*ny+y)*nx.
+	starts, total := prescanEscapes(codeBytes, nz*ny, func(u int) (int, int, int) {
+		return u * nx, nx, 1
+	})
+	stop()
+	if uint64(total) > nraw {
+		return errRawExhausted()
+	}
+	nwaves := nz + ny - 1
+	obs.Add("sz/wavefronts", int64(nwaves))
+	for w := 0; w < nwaves; w++ {
+		lo, hi := waveBounds(w, ny, nz)
+		wv := w
+		pool.Run(workers, hi-lo+1, func(t int) {
+			z := lo + t
+			y := wv - z
+			decRow3D(data, ny, nx, z, y, twoEB, codeBytes, rawPayload, starts[z*ny+y])
+		})
+	}
+	return nil
+}
+
+// decRow3D reconstructs row (z, y) with the serial kernel's stencils,
+// starting its raw cursor at rawPos.
+func decRow3D(data []float32, ny, nx, z, y int, twoEB float64, codeBytes, rawPayload []byte, rawPos int) {
+	s1 := nx
+	s0 := ny * nx
+	idx := z*s0 + y*s1
+	pred := 0.0
+	if z > 0 {
+		pred += float64(data[idx-s0])
+	}
+	if y > 0 {
+		pred += float64(data[idx-s1])
+		if z > 0 {
+			pred -= float64(data[idx-s0-s1])
+		}
+	}
+	rawPos = decPointAt(data, idx, pred, twoEB, codeBytes, rawPayload, rawPos)
+	idx++
+	switch {
+	case z > 0 && y > 0:
+		for x := 1; x < nx; x++ {
+			p := 0.0
+			p += float64(data[idx-s0])
+			p += float64(data[idx-s1])
+			p -= float64(data[idx-s0-s1])
+			p += float64(data[idx-1])
+			p -= float64(data[idx-s0-1])
+			p -= float64(data[idx-s1-1])
+			p += float64(data[idx-s0-s1-1])
+			rawPos = decPointAt(data, idx, p, twoEB, codeBytes, rawPayload, rawPos)
+			idx++
+		}
+	case z > 0:
+		for x := 1; x < nx; x++ {
+			p := 0.0
+			p += float64(data[idx-s0])
+			p += float64(data[idx-1])
+			p -= float64(data[idx-s0-1])
+			rawPos = decPointAt(data, idx, p, twoEB, codeBytes, rawPayload, rawPos)
+			idx++
+		}
+	case y > 0:
+		for x := 1; x < nx; x++ {
+			p := 0.0
+			p += float64(data[idx-s1])
+			p += float64(data[idx-1])
+			p -= float64(data[idx-s1-1])
+			rawPos = decPointAt(data, idx, p, twoEB, codeBytes, rawPayload, rawPos)
+			idx++
+		}
+	default:
+		for x := 1; x < nx; x++ {
+			p := 0.0
+			p += float64(data[idx-1])
+			rawPos = decPointAt(data, idx, p, twoEB, codeBytes, rawPayload, rawPos)
+			idx++
+		}
+	}
+}

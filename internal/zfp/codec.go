@@ -135,6 +135,44 @@ func decodeInts(r *entropy.BitReader, maxbits, maxprec int, data []uint32) int {
 	return maxbits - bits
 }
 
+// skipInts consumes exactly the bits decodeInts would for a block of `size`
+// coefficients, without materialising them, and returns the count. This is
+// what makes a serial offset skim possible in fixed-accuracy mode: the
+// embedded coder's control flow — plane reads, group tests, run-length
+// walks — branches only on the values of bits already read, never on the
+// reconstructed coefficients, so replaying the reads replays the consumption.
+func skipInts(r *entropy.BitReader, maxbits, maxprec, size int) int {
+	kmin := 0
+	if intPrec > maxprec {
+		kmin = intPrec - maxprec
+	}
+	bits := maxbits
+	n := 0
+	for k := intPrec; k > kmin && bits > 0; k-- {
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		r.TryReadBits(uint(m))
+		for n < size && bits > 0 {
+			bits--
+			if r.TryReadBit() == 0 {
+				break
+			}
+			for n < size-1 && bits > 0 {
+				bits--
+				if r.TryReadBit() != 0 {
+					break
+				}
+				n++
+			}
+			n++
+		}
+	}
+	return maxbits - bits
+}
+
 // blockEmax returns the common exponent for a block: the smallest e with
 // max|v| < 2^e, and whether the block is entirely zero.
 func blockEmax(vals []float32) (int, bool) {

@@ -1,14 +1,18 @@
 package zfp
 
 import (
+	"bytes"
+	"math"
 	"testing"
 
 	"github.com/fxrz-go/fxrz/internal/grid"
 )
 
 // FuzzDecompress drives the decoder with arbitrary byte streams: it must
-// return errors (or wrong data) on garbage, never panic or hang. Seeds are
-// valid streams so mutations explore near-valid inputs.
+// return errors (or wrong data) on garbage, never panic or hang, and the
+// chunked parallel decoder must agree with the serial one bit for bit on
+// every input — including corrupt ones. Seeds are valid streams so mutations
+// explore near-valid inputs.
 func FuzzDecompress(f *testing.F) {
 	fld := grid.MustNew("seed", 6, 7, 5)
 	for i := range fld.Data {
@@ -25,6 +29,40 @@ func FuzzDecompress(f *testing.F) {
 		g, err := c.Decompress(data)
 		if err == nil && g != nil && g.Size() > 1<<24 {
 			t.Skip("oversized but well-formed header")
+		}
+		for _, w := range []int{2, 3} {
+			pc := &Compressor{Workers: w}
+			pg, perr := pc.Decompress(data)
+			if (err == nil) != (perr == nil) {
+				t.Fatalf("w=%d: serial err=%v, parallel err=%v", w, err, perr)
+			}
+			if err != nil {
+				continue
+			}
+			for i := range g.Data {
+				if math.Float32bits(g.Data[i]) != math.Float32bits(pg.Data[i]) {
+					t.Fatalf("w=%d sample %d: serial %x, parallel %x",
+						w, i, math.Float32bits(g.Data[i]), math.Float32bits(pg.Data[i]))
+				}
+			}
+			// Round trip: re-compressing the agreed reconstruction must emit
+			// identical blobs serially and in parallel, in both ZFP modes.
+			sBlob, serr := c.Compress(g, knob)
+			pBlob, perr2 := pc.Compress(g, knob)
+			if (serr == nil) != (perr2 == nil) {
+				t.Fatalf("w=%d: recompress serial err=%v, parallel err=%v", w, serr, perr2)
+			}
+			if serr == nil && !bytes.Equal(sBlob, pBlob) {
+				t.Fatalf("w=%d: recompressed parallel blob differs from serial", w)
+			}
+			sRate, serr := (&FixedRate{Workers: 1}).Compress(g, 8)
+			pRate, perr3 := (&FixedRate{Workers: w}).Compress(g, 8)
+			if (serr == nil) != (perr3 == nil) {
+				t.Fatalf("w=%d: fixed-rate serial err=%v, parallel err=%v", w, serr, perr3)
+			}
+			if serr == nil && !bytes.Equal(sRate, pRate) {
+				t.Fatalf("w=%d: fixed-rate parallel blob differs from serial", w)
+			}
 		}
 	})
 }

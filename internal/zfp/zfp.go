@@ -26,6 +26,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/entropy"
 	"github.com/fxrz-go/fxrz/internal/grid"
 	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/pool"
 )
 
 const (
@@ -38,7 +39,12 @@ const (
 )
 
 // Compressor is ZFP in fixed-accuracy mode. The zero value is ready to use.
-type Compressor struct{}
+type Compressor struct {
+	// Workers bounds the intra-field fan-out (pool.Workers semantics: 0 uses
+	// all cores, 1 forces a serial run). Output is byte-identical at every
+	// setting — blocks are coded independently and stitched in block order.
+	Workers int
+}
 
 // New returns a fixed-accuracy ZFP compressor.
 func New() *Compressor { return &Compressor{} }
@@ -51,8 +57,11 @@ func (*Compressor) Axis() compress.Axis {
 	return compress.Axis{Kind: compress.AbsErrorBound, Min: 1e-12, Max: 1e6}
 }
 
+// WithWorkers implements compress.ParallelCompressor.
+func (c *Compressor) WithWorkers(n int) compress.Compressor { return &Compressor{Workers: n} }
+
 // Compress implements compress.Compressor with an absolute error tolerance.
-func (*Compressor) Compress(f *grid.Field, tol float64) ([]byte, error) {
+func (c *Compressor) Compress(f *grid.Field, tol float64) ([]byte, error) {
 	if !(tol > 0) || math.IsInf(tol, 0) {
 		return nil, fmt.Errorf("zfp: tolerance must be a positive finite number, got %v", tol)
 	}
@@ -60,7 +69,7 @@ func (*Compressor) Compress(f *grid.Field, tol float64) ([]byte, error) {
 	obs.Inc("compressor_runs/zfp")
 	out := compress.AppendHeader(nil, compress.Header{Magic: compress.MagicZFP, Name: f.Name, Dims: f.Dims, Knob: tol})
 	out = append(out, 0) // mode byte: fixed accuracy
-	payload, err := encodeBody(f, minExp(tol), 0)
+	payload, err := encodeBody(f, minExp(tol), 0, pool.Workers(c.Workers))
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +79,7 @@ func (*Compressor) Compress(f *grid.Field, tol float64) ([]byte, error) {
 }
 
 // Decompress implements compress.Compressor.
-func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
+func (c *Compressor) Decompress(blob []byte) (*grid.Field, error) {
 	defer obs.Span("decompress/zfp")()
 	h, payload, err := compress.ParseHeader(blob, compress.MagicZFP)
 	if err != nil {
@@ -87,11 +96,12 @@ func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, fmt.Errorf("zfp: %w", err)
 	}
+	workers := pool.Workers(c.Workers)
 	switch mode {
 	case 0:
-		err = decodeBody(f, payload, minExp(h.Knob), 0)
+		err = decodeBody(f, payload, minExp(h.Knob), 0, workers)
 	case 1:
-		err = decodeBody(f, payload, 0, blockBits(h.Knob, foldedNDims(h.Dims)))
+		err = decodeBody(f, payload, 0, blockBits(h.Knob, foldedNDims(h.Dims)), workers)
 	default:
 		return nil, fmt.Errorf("zfp: %w: mode %d", compress.ErrCorrupt, mode)
 	}
@@ -102,7 +112,10 @@ func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
 }
 
 // FixedRate is ZFP in fixed-rate mode: the knob is bits per value.
-type FixedRate struct{}
+type FixedRate struct {
+	// Workers bounds the intra-field fan-out; see Compressor.Workers.
+	Workers int
+}
 
 // NewFixedRate returns a fixed-rate ZFP compressor.
 func NewFixedRate() *FixedRate { return &FixedRate{} }
@@ -116,8 +129,11 @@ func (*FixedRate) Axis() compress.Axis {
 	return compress.Axis{Kind: compress.Precision, Min: 1, Max: 32}
 }
 
+// WithWorkers implements compress.ParallelCompressor.
+func (c *FixedRate) WithWorkers(n int) compress.Compressor { return &FixedRate{Workers: n} }
+
 // Compress encodes every block with exactly rate*4^d bits.
-func (*FixedRate) Compress(f *grid.Field, rate float64) ([]byte, error) {
+func (c *FixedRate) Compress(f *grid.Field, rate float64) ([]byte, error) {
 	if !(rate > 0) || rate > 64 {
 		return nil, fmt.Errorf("zfp: rate must be in (0, 64], got %v", rate)
 	}
@@ -125,7 +141,7 @@ func (*FixedRate) Compress(f *grid.Field, rate float64) ([]byte, error) {
 	obs.Inc("compressor_runs/zfp-rate")
 	out := compress.AppendHeader(nil, compress.Header{Magic: compress.MagicZFP, Name: f.Name, Dims: f.Dims, Knob: rate})
 	out = append(out, 1) // mode byte: fixed rate
-	payload, err := encodeBody(f, 0, blockBits(rate, foldedNDims(f.Dims)))
+	payload, err := encodeBody(f, 0, blockBits(rate, foldedNDims(f.Dims)), pool.Workers(c.Workers))
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +152,7 @@ func (*FixedRate) Compress(f *grid.Field, rate float64) ([]byte, error) {
 
 // Decompress implements compress.Compressor.
 func (c *FixedRate) Decompress(blob []byte) (*grid.Field, error) {
-	return (&Compressor{}).Decompress(blob)
+	return (&Compressor{Workers: c.Workers}).Decompress(blob)
 }
 
 // minExp returns floor(log2(tol)), the weakest bit-plane exponent that can
@@ -175,9 +191,58 @@ func foldedNDims(dims []int) int {
 	return len(dims)
 }
 
+// encodeBlock codes one 4^d block at origin into w: gather, common-exponent
+// header, transform, and embedded bit-plane coding, padded to the budget in
+// fixed-rate mode. It is the single per-block encoder shared by the serial
+// walk and the chunked parallel path, so the two are identical by
+// construction.
+func encodeBlock(w *entropy.BitWriter, folded *grid.Field, origin []int, s *blockScratch, minexp, maxbits, nd int, perm []int) {
+	vals, q, ub := s.vals, s.q, s.ub
+	gatherPadded(folded, origin, vals)
+	used := 0
+	emax, zero := blockEmax(vals)
+	budget := unbounded
+	if maxbits > 0 {
+		budget = maxbits
+	}
+	if zero {
+		w.WriteBit(0)
+		used = 1
+	} else {
+		w.WriteBit(1)
+		w.WriteBits(uint64(emax+emaxBias), emaxBits)
+		used = headerBits
+		maxprec := intPrec
+		if maxbits == 0 {
+			maxprec = precision(emax, minexp, nd)
+		}
+		if maxprec > 0 {
+			quantize(vals, emax, q)
+			fwdTransform(q, nd)
+			for i, p := range perm {
+				ub[i] = int32ToNegabinary(q[p])
+			}
+			used += encodeInts(w, budget-used, maxprec, ub, &s.planes)
+		}
+	}
+	// Fixed-rate blocks are padded to exactly the budget.
+	if maxbits > 0 {
+		for pad := maxbits - used; pad > 0; pad -= 64 {
+			n := pad
+			if n > 64 {
+				n = 64
+			}
+			w.WriteBits(0, uint(n))
+		}
+	}
+}
+
 // encodeBody compresses the field body. maxbits == 0 selects fixed-accuracy
 // mode with the given minexp; otherwise each block gets exactly maxbits bits.
-func encodeBody(f *grid.Field, minexp, maxbits int) ([]byte, error) {
+// With workers > 1 and enough blocks, chunks of blocks are encoded
+// concurrently and stitched in block order (see parallel.go); the blob is
+// byte-identical either way.
+func encodeBody(f *grid.Field, minexp, maxbits, workers int) ([]byte, error) {
 	dims := foldDims(f.Dims)
 	folded, err := grid.FromData(f.Name, f.Data, dims...)
 	if err != nil {
@@ -188,56 +253,70 @@ func encodeBody(f *grid.Field, minexp, maxbits int) ([]byte, error) {
 	for i := 0; i < nd; i++ {
 		bs *= blockSide
 	}
+	if workers > 1 && countBlocks(dims) >= zfpParMinBlocks {
+		return encodeBodyChunked(folded, minexp, maxbits, workers)
+	}
 	w := entropy.NewPooledBitWriter()
 	s := getBlockScratch(bs)
 	defer putBlockScratch(s)
-	vals, q, ub := s.vals, s.q, s.ub
 	perm := perms[nd-1]
 
 	visitBlockOrigins(dims, func(origin []int) {
-		gatherPadded(folded, origin, vals)
-		used := 0
-		emax, zero := blockEmax(vals)
-		budget := unbounded
-		if maxbits > 0 {
-			budget = maxbits
-		}
-		if zero {
-			w.WriteBit(0)
-			used = 1
-		} else {
-			w.WriteBit(1)
-			w.WriteBits(uint64(emax+emaxBias), emaxBits)
-			used = headerBits
-			maxprec := intPrec
-			if maxbits == 0 {
-				maxprec = precision(emax, minexp, nd)
-			}
-			if maxprec > 0 {
-				quantize(vals, emax, q)
-				fwdTransform(q, nd)
-				for i, p := range perm {
-					ub[i] = int32ToNegabinary(q[p])
-				}
-				used += encodeInts(w, budget-used, maxprec, ub, &s.planes)
-			}
-		}
-		// Fixed-rate blocks are padded to exactly the budget.
-		if maxbits > 0 {
-			for pad := maxbits - used; pad > 0; pad -= 64 {
-				n := pad
-				if n > 64 {
-					n = 64
-				}
-				w.WriteBits(0, uint(n))
-			}
-		}
+		encodeBlock(w, folded, origin, s, minexp, maxbits, nd, perm)
 	})
 	return w.Bytes(), nil
 }
 
-// decodeBody reconstructs the field body written by encodeBody.
-func decodeBody(f *grid.Field, payload []byte, minexp, maxbits int) error {
+// decodeBlock decodes one 4^d block from r into the field, mirroring
+// encodeBlock (including the fixed-rate pad skip). Like encodeBlock it is
+// shared by the serial and parallel paths.
+func decodeBlock(r *entropy.BitReader, folded *grid.Field, origin []int, s *blockScratch, minexp, maxbits, nd int, perm []int) {
+	vals, q, ub := s.vals, s.q, s.ub
+	used := 1
+	nonzero := r.TryReadBit()
+	if nonzero == 0 {
+		for i := range vals {
+			vals[i] = 0
+		}
+	} else {
+		emax := int(r.TryReadBits(emaxBits)) - emaxBias
+		used = headerBits
+		maxprec := intPrec
+		budget := unbounded
+		if maxbits == 0 {
+			maxprec = precision(emax, minexp, nd)
+		} else {
+			budget = maxbits
+		}
+		if maxprec > 0 {
+			used += decodeInts(r, budget-used, maxprec, ub)
+		} else {
+			for i := range ub {
+				ub[i] = 0
+			}
+		}
+		for i, p := range perm {
+			q[p] = negabinaryToInt32(ub[i])
+		}
+		invTransform(q, nd)
+		dequantize(q, emax, vals)
+	}
+	if maxbits > 0 {
+		for pad := maxbits - used; pad > 0; pad -= 64 {
+			n := pad
+			if n > 64 {
+				n = 64
+			}
+			r.TryReadBits(uint(n))
+		}
+	}
+	scatterClipped(folded, origin, vals)
+}
+
+// decodeBody reconstructs the field body written by encodeBody. With
+// workers > 1 and enough blocks, chunks decode concurrently from precomputed
+// bit offsets (see parallel.go); reconstructions are bit-identical either way.
+func decodeBody(f *grid.Field, payload []byte, minexp, maxbits, workers int) error {
 	dims := foldDims(f.Dims)
 	folded, err := grid.FromData(f.Name, f.Data, dims...)
 	if err != nil {
@@ -248,52 +327,16 @@ func decodeBody(f *grid.Field, payload []byte, minexp, maxbits int) error {
 	for i := 0; i < nd; i++ {
 		bs *= blockSide
 	}
+	if workers > 1 && countBlocks(dims) >= zfpParMinBlocks {
+		return decodeBodyChunked(folded, payload, minexp, maxbits, workers)
+	}
 	r := entropy.NewBitReader(payload)
 	s := getBlockScratch(bs)
 	defer putBlockScratch(s)
-	vals, q, ub := s.vals, s.q, s.ub
 	perm := perms[nd-1]
 
 	visitBlockOrigins(dims, func(origin []int) {
-		used := 1
-		nonzero := r.TryReadBit()
-		if nonzero == 0 {
-			for i := range vals {
-				vals[i] = 0
-			}
-		} else {
-			emax := int(r.TryReadBits(emaxBits)) - emaxBias
-			used = headerBits
-			maxprec := intPrec
-			budget := unbounded
-			if maxbits == 0 {
-				maxprec = precision(emax, minexp, nd)
-			} else {
-				budget = maxbits
-			}
-			if maxprec > 0 {
-				used += decodeInts(r, budget-used, maxprec, ub)
-			} else {
-				for i := range ub {
-					ub[i] = 0
-				}
-			}
-			for i, p := range perm {
-				q[p] = negabinaryToInt32(ub[i])
-			}
-			invTransform(q, nd)
-			dequantize(q, emax, vals)
-		}
-		if maxbits > 0 {
-			for pad := maxbits - used; pad > 0; pad -= 64 {
-				n := pad
-				if n > 64 {
-					n = 64
-				}
-				r.TryReadBits(uint(n))
-			}
-		}
-		scatterClipped(folded, origin, vals)
+		decodeBlock(r, folded, origin, s, minexp, maxbits, nd, perm)
 	})
 	return nil
 }
