@@ -4,7 +4,7 @@
 # The CI workflow (.github/workflows/ci.yml) runs lint, verify, verify-race,
 # cover and the bench-smoke/benchguard pair on every push and pull request.
 
-.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-smoke benchguard
+.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-smoke benchguard fuzz-smoke
 
 verify:
 	go build ./... && go test ./...
@@ -54,6 +54,16 @@ bench-compress:
 		|| { echo "$$out"; exit 1; }; \
 	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_compress.json
 
+# Run the serving-layer benchmarks and gate the http-vs-direct overhead
+# against the recorded BENCH_serve.json: each endpoint's request must stay
+# within its absolute overhead cap and within 10% of the recorded ratio.
+# Overheads are within-run ratios, so the gate holds on any machine. Run
+# this (and re-record the JSON) after touching internal/serve.
+bench-serve:
+	@out="$$(go test -run '^$$' -bench BenchmarkServe -benchtime 300ms ./internal/serve/)" \
+		|| { echo "$$out"; exit 1; }; \
+	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_serve.json
+
 # One-iteration benchmark pass: proves the benchmarks still run, without
 # trusting the timings of a shared CI box (the timing gate is bench-kernels,
 # run on a quiet recording machine).
@@ -61,8 +71,23 @@ bench-smoke:
 	go test -run '^$$' -bench BenchmarkTrainParallel -benchtime 1x .
 	go test -run '^$$' -bench BenchmarkKernel -benchtime 1x \
 		./internal/sz/ ./internal/zfp/ ./internal/entropy/ ./internal/core/
+	go test -run '^$$' -bench BenchmarkServe -benchtime 1x ./internal/serve/
+
+# Short fuzzing burst over every Fuzz* target, starting from the committed
+# seed corpora (regenerate seeds with `go run ./cmd/genfixtures`). Each
+# target runs for FUZZTIME (default 20s); a crasher fails the run and leaves
+# its reproducer under testdata/fuzz/ for triage.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/sz/
+	go test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/zfp/
+	go test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/fpzip/
+	go test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/mgard/
+	go test -run '^$$' -fuzz '^FuzzLZDecompress$$' -fuzztime $(FUZZTIME) ./internal/entropy/
+	go test -run '^$$' -fuzz '^FuzzHuffmanDecode$$' -fuzztime $(FUZZTIME) ./internal/entropy/
+	go test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) .
 
 # Validate the recorded baseline files stay machine-readable and keep their
 # speedup floors.
 benchguard:
-	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json
+	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json

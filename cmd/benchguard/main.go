@@ -95,6 +95,40 @@ const (
 	multiCoreMin = 4
 )
 
+// serveBaseline mirrors the schema of BENCH_serve.json: per-endpoint ns per
+// request through the library directly and through a full HTTP round trip,
+// with their ratio recorded as the serving overhead. Like the kernel
+// before/after ratios — and unlike the parallel wall-clock speedups — the
+// overhead is measured within one run on one machine, so it gates anywhere.
+type serveBaseline struct {
+	Benchmark string         `json:"benchmark"`
+	Date      string         `json:"date"`
+	Runner    compressRunner `json:"runner"`
+	Endpoints []serveEntry   `json:"endpoints"`
+}
+
+type serveEntry struct {
+	Name           string  `json:"name"`
+	Bench          string  `json:"bench"`
+	NsPerReqDirect float64 `json:"ns_per_req_direct"`
+	NsPerReqHTTP   float64 `json:"ns_per_req_http"`
+	Overhead       float64 `json:"overhead"`
+}
+
+// serveOverheadCaps bounds how much a request may cost through the HTTP
+// layer relative to the direct library call: the server must stay a wrapper,
+// not a tax. The caps leave headroom over the recorded overheads (which are
+// inflated by the benchmark's deliberately small fixture field — the ~200us
+// fixed per-request cost shrinks relative to real field sizes).
+var serveOverheadCaps = map[string]float64{
+	"estimate": 8.0,
+	"pack":     2.0,
+	"unpack":   4.0,
+}
+
+// requiredEndpoints is the roster a serve baseline must cover.
+var requiredEndpoints = []string{"estimate", "pack", "unpack"}
+
 // kernelBaseline mirrors the schema of BENCH_kernels.json.
 type kernelBaseline struct {
 	Benchmark string         `json:"benchmark"`
@@ -127,14 +161,17 @@ var requiredKernels = []string{"sz_quantize_3d", "zfp_encode_ints", "huffman_dec
 // validate checks one recorded baseline blob, dispatching on its schema.
 func validate(raw []byte) error {
 	var probe struct {
-		Results []json.RawMessage `json:"results"`
-		Kernels []json.RawMessage `json:"kernels"`
-		Codecs  []json.RawMessage `json:"codecs"`
+		Results   []json.RawMessage `json:"results"`
+		Kernels   []json.RawMessage `json:"kernels"`
+		Codecs    []json.RawMessage `json:"codecs"`
+		Endpoints []json.RawMessage `json:"endpoints"`
 	}
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		return fmt.Errorf("not valid JSON: %w", err)
 	}
 	switch {
+	case probe.Endpoints != nil:
+		return validateServe(raw)
 	case probe.Codecs != nil:
 		return validateCompress(raw)
 	case probe.Kernels != nil:
@@ -142,7 +179,8 @@ func validate(raw []byte) error {
 	case probe.Results != nil:
 		return validateTrain(raw)
 	default:
-		return fmt.Errorf("unrecognized schema: none of %q, %q, %q present", "results", "kernels", "codecs")
+		return fmt.Errorf("unrecognized schema: none of %q, %q, %q, %q present",
+			"results", "kernels", "codecs", "endpoints")
 	}
 }
 
@@ -208,6 +246,53 @@ func validateCompress(raw []byte) error {
 	for _, name := range requiredCodecs {
 		if _, ok := seen[name]; !ok {
 			return fmt.Errorf("missing required codec %q", name)
+		}
+	}
+	return nil
+}
+
+func validateServe(raw []byte) error {
+	var b serveBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if err := validateCommon(b.Benchmark, b.Date); err != nil {
+		return err
+	}
+	if b.Runner.Cores <= 0 {
+		return fmt.Errorf("runner.cores must be > 0, got %d", b.Runner.Cores)
+	}
+	seen := make(map[string]bool, len(b.Endpoints))
+	for i, e := range b.Endpoints {
+		if e.Name == "" {
+			return fmt.Errorf("endpoints[%d]: missing name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("endpoints[%d]: duplicate entry for %q", i, e.Name)
+		}
+		seen[e.Name] = true
+		if e.Bench == "" {
+			return fmt.Errorf("endpoints[%d] (%s): missing bench", i, e.Name)
+		}
+		if !(e.NsPerReqDirect > 0) || !(e.NsPerReqHTTP > 0) {
+			return fmt.Errorf("endpoints[%d] (%s): ns_per_req_direct/http must be > 0, got %v/%v",
+				i, e.Name, e.NsPerReqDirect, e.NsPerReqHTTP)
+		}
+		if !(e.Overhead > 0) {
+			return fmt.Errorf("endpoints[%d] (%s): overhead must be > 0, got %v", i, e.Name, e.Overhead)
+		}
+		if ratio := e.NsPerReqHTTP / e.NsPerReqDirect; ratio/e.Overhead > 1.01 || e.Overhead/ratio > 1.01 {
+			return fmt.Errorf("endpoints[%d] (%s): overhead %.3f inconsistent with http/direct ratio %.3f",
+				i, e.Name, e.Overhead, ratio)
+		}
+		if cap, ok := serveOverheadCaps[e.Name]; ok && e.Overhead > cap {
+			return fmt.Errorf("endpoints[%d] (%s): serving overhead %.2fx exceeds the %.1fx cap",
+				i, e.Name, e.Overhead, cap)
+		}
+	}
+	for _, name := range requiredEndpoints {
+		if !seen[name] {
+			return fmt.Errorf("missing required endpoint %q", name)
 		}
 	}
 	return nil
@@ -396,6 +481,41 @@ func parseCompressBenchLine(line string) (name, role string, v float64, ok bool)
 	return parts[1] + "_" + op, role, v, true
 }
 
+// parseServeBenchLine extracts (endpoint, role, ns/op) from a
+// BenchmarkServeEstimate/direct-style line: the direct library call plays
+// the "before" role and the HTTP round trip the "after", so the pair's
+// before/after ratio is the inverse of the serving overhead.
+func parseServeBenchLine(line string) (name, role string, v float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkServe") {
+		return "", "", 0, false
+	}
+	parts := strings.Split(procSuffix.ReplaceAllString(fields[0], ""), "/")
+	if len(parts) != 2 {
+		return "", "", 0, false
+	}
+	base := strings.TrimPrefix(parts[0], "BenchmarkServe")
+	if base == "" {
+		return "", "", 0, false
+	}
+	switch parts[1] {
+	case "direct":
+		role = "before"
+	case "http":
+		role = "after"
+	default:
+		return "", "", 0, false
+	}
+	if fields[3] != "ns/op" {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || !(v > 0) {
+		return "", "", 0, false
+	}
+	return strings.ToLower(base), role, v, true
+}
+
 // runDeltas implements -deltas: pair up variants from bench output, print the
 // old-vs-new table, and gate against the recorded baseline if one was given.
 // Kernel lines pair generic/fast variants; compress lines pair the w1/w4
@@ -409,6 +529,7 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 	measured := map[string]*pair{}
 	compressGate := cores >= multiCoreMin
 	isCompress := map[string]bool{}
+	isServe := map[string]bool{}
 	record := func(name, role string, v float64) {
 		p := measured[name]
 		if p == nil {
@@ -430,6 +551,11 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 		if name, role, v, ok := parseCompressBenchLine(sc.Text()); ok {
 			record(name, role, v)
 			isCompress[name] = true
+			continue
+		}
+		if name, role, v, ok := parseServeBenchLine(sc.Text()); ok {
+			record(name, role, v)
+			isServe[name] = true
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -450,13 +576,20 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 		}
 		var kb kernelBaseline
 		var cb compressBaseline
+		var sb serveBaseline
 		_ = json.Unmarshal(raw, &kb) // validated above
 		_ = json.Unmarshal(raw, &cb)
+		_ = json.Unmarshal(raw, &sb)
 		for _, k := range kb.Kernels {
 			recorded[k.Name] = k.Speedup
 		}
 		for _, c := range cb.Codecs {
 			recorded[c.Name] = c.SpeedupW4
+		}
+		for _, e := range sb.Endpoints {
+			// The serve pair's before/after ratio is direct/http, i.e. the
+			// inverse of the recorded overhead.
+			recorded[e.Name] = 1 / e.Overhead
 		}
 	}
 
@@ -484,6 +617,12 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 			case sp < minSpeedup*rec:
 				failures = append(failures, fmt.Sprintf(
 					"%s: measured speedup %.2fx regressed >10%% against recorded %.2fx", name, sp, rec))
+			}
+		}
+		if isServe[name] {
+			if cap, ok := serveOverheadCaps[name]; ok && 1/sp > cap {
+				failures = append(failures, fmt.Sprintf(
+					"%s: serving overhead %.2fx exceeds the %.1fx cap", name, 1/sp, cap))
 			}
 		}
 		if isCompress[name] && compressGate && strings.HasSuffix(name, "_pack") && sp < packSpeedupFloor {

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fullServe builds a valid serve baseline, optionally mutated, as JSON.
+func fullServe(t *testing.T, mutate func(map[string]*serveEntry)) string {
+	t.Helper()
+	es := map[string]*serveEntry{
+		"estimate": {Name: "estimate", Bench: "BenchmarkServeEstimate", NsPerReqDirect: 50000, NsPerReqHTTP: 210000, Overhead: 4.2},
+		"pack":     {Name: "pack", Bench: "BenchmarkServePack", NsPerReqDirect: 1160000, NsPerReqHTTP: 1490000, Overhead: 1.28},
+		"unpack":   {Name: "unpack", Bench: "BenchmarkServeUnpack", NsPerReqDirect: 180000, NsPerReqHTTP: 387000, Overhead: 2.15},
+	}
+	if mutate != nil {
+		mutate(es)
+	}
+	b := serveBaseline{
+		Benchmark: "BenchmarkServe* (internal/serve)",
+		Date:      "2026-08-05",
+		Runner:    compressRunner{CPU: "test", Cores: 1, Note: "test"},
+	}
+	for _, name := range []string{"estimate", "pack", "unpack"} {
+		if e := es[name]; e != nil {
+			b.Endpoints = append(b.Endpoints, *e)
+		}
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestValidateServeBaselines(t *testing.T) {
+	if err := validate([]byte(fullServe(t, nil))); err != nil {
+		t.Fatalf("valid serve baseline rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(map[string]*serveEntry)
+		wantErr string
+	}{
+		{"missing endpoint", func(es map[string]*serveEntry) {
+			es["unpack"] = nil
+		}, `missing required endpoint "unpack"`},
+		{"missing bench", func(es map[string]*serveEntry) {
+			es["pack"].Bench = ""
+		}, "missing bench"},
+		{"zero direct ns", func(es map[string]*serveEntry) {
+			es["pack"].NsPerReqDirect = 0
+		}, "ns_per_req_direct/http must be > 0"},
+		{"inconsistent overhead", func(es map[string]*serveEntry) {
+			es["estimate"].Overhead = 2.0
+		}, "inconsistent with http/direct ratio"},
+		{"overhead above cap", func(es map[string]*serveEntry) {
+			es["pack"].NsPerReqHTTP = es["pack"].NsPerReqDirect * 2.5
+			es["pack"].Overhead = 2.5
+		}, "exceeds the 2.0x cap"},
+	}
+	for _, tc := range cases {
+		err := validate([]byte(fullServe(t, tc.mutate)))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// Duplicate endpoints and a zero-core runner are rejected too.
+	dup := strings.Replace(fullServe(t, nil), `"name":"pack"`, `"name":"estimate"`, 1)
+	if err := validate([]byte(dup)); err == nil || !strings.Contains(err.Error(), "duplicate entry") {
+		t.Errorf("duplicate endpoint: err = %v", err)
+	}
+	noCores := strings.Replace(fullServe(t, nil), `"cores":1`, `"cores":0`, 1)
+	if err := validate([]byte(noCores)); err == nil || !strings.Contains(err.Error(), "runner.cores must be > 0") {
+		t.Errorf("zero cores: err = %v", err)
+	}
+}
+
+func TestParseServeBenchLine(t *testing.T) {
+	cases := []struct {
+		line       string
+		name, role string
+		v          float64
+		ok         bool
+	}{
+		{"BenchmarkServeEstimate/direct-8   25065   48850 ns/op", "estimate", "before", 48850, true},
+		{"BenchmarkServeEstimate/http-8      5425  207631 ns/op", "estimate", "after", 207631, true},
+		{"BenchmarkServeUnpack/http          3074  386955 ns/op", "unpack", "after", 386955, true},
+		{"BenchmarkServePack/warm-8             1       1 ns/op", "", "", 0, false},
+		{"BenchmarkServeEstimate-8          25065   48850 ns/op", "", "", 0, false},
+		{"BenchmarkKernelQuantize3D/fast-8      1    20.5 ns/elem", "", "", 0, false},
+		{"ok  	github.com/fxrz-go/fxrz/internal/serve	2.883s", "", "", 0, false},
+	}
+	for _, tc := range cases {
+		name, role, v, ok := parseServeBenchLine(tc.line)
+		if ok != tc.ok || name != tc.name || role != tc.role || v != tc.v {
+			t.Errorf("parseServeBenchLine(%q) = (%q, %q, %v, %v), want (%q, %q, %v, %v)",
+				tc.line, name, role, v, ok, tc.name, tc.role, tc.v, tc.ok)
+		}
+	}
+}
+
+const healthyServeBench = `
+goos: linux
+BenchmarkServeEstimate/direct-8   25065    50000 ns/op
+BenchmarkServeEstimate/http-8      5425   210000 ns/op
+BenchmarkServePack/direct-8        1045  1160000 ns/op
+BenchmarkServePack/http-8           808  1490000 ns/op
+BenchmarkServeUnpack/direct-8      6366   180000 ns/op
+BenchmarkServeUnpack/http-8        3074   387000 ns/op
+PASS
+`
+
+func TestRunDeltasServe(t *testing.T) {
+	baseline := t.TempDir() + "/BENCH_serve.json"
+	if err := os.WriteFile(baseline, []byte(fullServe(t, nil)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := runDeltas(strings.NewReader(healthyServeBench), &sb, baseline, 1); err != nil {
+		t.Fatalf("healthy run rejected: %v\n%s", err, sb.String())
+	}
+	for _, name := range []string{"estimate", "pack", "unpack"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Fatalf("delta table missing %s:\n%s", name, sb.String())
+		}
+	}
+
+	// Overhead regressed >10% against the recorded ratio → fail. (An http
+	// pack of 1,700,000 ns is 1.47x direct, against the recorded 1.28x.)
+	slowed := strings.Replace(healthyServeBench, " 1490000 ns/op", " 1700000 ns/op", 1)
+	sb.Reset()
+	err := runDeltas(strings.NewReader(slowed), &sb, baseline, 1)
+	if err == nil || !strings.Contains(err.Error(), "regressed >10%") {
+		t.Fatalf("regressed run: err = %v, want regression failure", err)
+	}
+
+	// Overhead through the absolute cap fails even with no baseline given.
+	capped := strings.Replace(healthyServeBench, " 1490000 ns/op",
+		fmt.Sprintf(" %d ns/op", 1160000*3), 1)
+	sb.Reset()
+	err = runDeltas(strings.NewReader(capped), &sb, "", 1)
+	if err == nil || !strings.Contains(err.Error(), "exceeds the 2.0x cap") {
+		t.Fatalf("capped run: err = %v, want cap failure", err)
+	}
+
+	// A missing http variant is a broken roster anywhere.
+	missing := strings.Replace(healthyServeBench, "BenchmarkServeUnpack/http-8        3074   387000 ns/op\n", "", 1)
+	sb.Reset()
+	err = runDeltas(strings.NewReader(missing), &sb, baseline, 1)
+	if err == nil || !strings.Contains(err.Error(), "missing after variant") {
+		t.Fatalf("missing-variant run: err = %v, want missing-variant failure", err)
+	}
+}
+
+func TestRecordedServeBaselineIsValid(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(raw); err != nil {
+		t.Errorf("recorded BENCH_serve.json rejected: %v", err)
+	}
+}

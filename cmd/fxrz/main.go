@@ -13,11 +13,8 @@
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"io"
 	"math"
 	"net"
 	"net/http"
@@ -29,6 +26,7 @@ import (
 	fxrz "github.com/fxrz-go/fxrz"
 	"github.com/fxrz-go/fxrz/archive"
 	"github.com/fxrz-go/fxrz/internal/datagen"
+	"github.com/fxrz-go/fxrz/internal/fieldio"
 	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
@@ -420,21 +418,11 @@ func writeField(path string, f *fxrz.Field) error {
 	if err != nil {
 		return err
 	}
-	defer w.Close()
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "fxrzfield %s", strings.ReplaceAll(f.Name, " ", "_"))
-	for _, d := range f.Dims {
-		fmt.Fprintf(bw, " %d", d)
+	if err := fieldio.Write(w, f); err != nil {
+		w.Close()
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Fprintln(bw)
-	buf := make([]byte, 4)
-	for _, v := range f.Data {
-		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
-		if _, err := bw.Write(buf); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return w.Close()
 }
 
 // readField loads a field from the fxrzfield container format.
@@ -444,34 +432,9 @@ func readField(path string) (*fxrz.Field, error) {
 		return nil, err
 	}
 	defer r.Close()
-	br := bufio.NewReader(r)
-	header, err := br.ReadString('\n')
+	f, err := fieldio.Read(r)
 	if err != nil {
-		return nil, fmt.Errorf("%s: reading header: %w", path, err)
-	}
-	parts := strings.Fields(strings.TrimSpace(header))
-	if len(parts) < 3 || parts[0] != "fxrzfield" {
-		return nil, fmt.Errorf("%s: not an fxrzfield file", path)
-	}
-	name := parts[1]
-	var dims []int
-	for _, p := range parts[2:] {
-		var d int
-		if _, err := fmt.Sscanf(p, "%d", &d); err != nil {
-			return nil, fmt.Errorf("%s: bad dim %q", path, p)
-		}
-		dims = append(dims, d)
-	}
-	f, err := fxrz.NewField(name, dims...)
-	if err != nil {
-		return nil, err
-	}
-	raw := make([]byte, 4*f.Size())
-	if _, err := io.ReadFull(br, raw); err != nil {
-		return nil, fmt.Errorf("%s: reading %d samples: %w", path, f.Size(), err)
-	}
-	for i := range f.Data {
-		f.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return f, nil
 }

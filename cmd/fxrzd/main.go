@@ -1,0 +1,146 @@
+// Command fxrzd is the FXRZ serving daemon: a long-lived HTTP server that
+// answers fixed-ratio questions online. It serves trained models from a
+// directory of .fxm files (produced by `fxrz train -o models/<id>.fxm`)
+// through a bounded LRU cache, and exposes:
+//
+//	POST /v1/estimate?model=ID&target=N   features (JSON) or field sample -> knob
+//	POST /v1/pack?model=ID&target=N       fxrzfield container -> compressed stream
+//	POST /v1/unpack                       compressed stream -> fxrzfield container
+//	GET  /v1/models                       model inventory
+//	GET  /healthz                         liveness + admission state
+//	GET  /metrics                         obs snapshot (per-endpoint p50/p90/p99)
+//
+// Admission control bounds concurrent heavy requests (excess load is shed
+// with 429), caps request bodies (413), and times out stuck requests (503).
+// SIGINT/SIGTERM drain in-flight requests before exit.
+//
+//	fxrzd -models ./models -addr :8080 -parallelism 0
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof flag)
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fxrzd:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed flag set.
+type options struct {
+	addr      string
+	cfg       serve.Config
+	obsJSON   string
+	pprofAddr string
+	drain     time.Duration
+}
+
+// parseFlags validates the command line into options.
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("fxrzd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.cfg.ModelsDir, "models", "", "directory of .fxm model files (required)")
+	fs.IntVar(&o.cfg.CacheSize, "cache", 8, "max resident models in the registry")
+	fs.IntVar(&o.cfg.MaxInFlight, "max-inflight", 0, "max concurrently admitted heavy requests (0 = worker budget)")
+	fs.Int64Var(&o.cfg.MaxBodyBytes, "max-body", 256<<20, "request body cap in bytes")
+	fs.DurationVar(&o.cfg.Timeout, "timeout", 60*time.Second, "per-request timeout")
+	fs.IntVar(&o.cfg.Parallelism, "parallelism", 0, "total intra-field worker budget (0 = all cores, 1 = serial)")
+	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
+	fs.StringVar(&o.obsJSON, "obs-json", "", "write an observability snapshot (JSON) to this file on exit")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this extra address")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.cfg.ModelsDir == "" {
+		return o, fmt.Errorf("-models is required")
+	}
+	if st, err := os.Stat(o.cfg.ModelsDir); err != nil || !st.IsDir() {
+		return o, fmt.Errorf("-models %q is not a directory", o.cfg.ModelsDir)
+	}
+	if o.cfg.Parallelism < 0 {
+		return o, fmt.Errorf("-parallelism must be >= 0 (0 = all cores, 1 = serial), got %d", o.cfg.Parallelism)
+	}
+	if o.cfg.MaxInFlight < 0 {
+		return o, fmt.Errorf("-max-inflight must be >= 0, got %d", o.cfg.MaxInFlight)
+	}
+	if o.cfg.MaxBodyBytes <= 0 {
+		return o, fmt.Errorf("-max-body must be > 0, got %d", o.cfg.MaxBodyBytes)
+	}
+	if o.cfg.Timeout <= 0 || o.drain <= 0 {
+		return o, fmt.Errorf("-timeout and -drain must be > 0")
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	// A serving process always records: /metrics is part of the API.
+	obs.Enable()
+	obs.Publish()
+	if o.pprofAddr != "" {
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "serving pprof on http://%s/debug/pprof/ and expvar on /debug/vars\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+
+	s := serve.NewServer(o.cfg)
+	if models, err := s.Registry().List(); err == nil {
+		fmt.Fprintf(os.Stderr, "fxrzd: serving %d model(s) from %s\n", len(models), o.cfg.ModelsDir)
+	}
+	srv := &http.Server{
+		Addr:              o.addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "fxrzd: listening on %s\n", o.addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "fxrzd: %v — draining in-flight requests (budget %v)\n", sig, o.drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if o.obsJSON != "" {
+		if err := obs.TakeSnapshot().WriteJSONFile(o.obsJSON); err != nil {
+			return fmt.Errorf("obs-json: %w", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "fxrzd: drained, bye")
+	return nil
+}

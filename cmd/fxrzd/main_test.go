@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	dir := t.TempDir()
+	o, err := parseFlags([]string{"-models", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" {
+		t.Errorf("addr = %q", o.addr)
+	}
+	if o.cfg.ModelsDir != dir {
+		t.Errorf("models dir = %q", o.cfg.ModelsDir)
+	}
+	if o.cfg.CacheSize != 8 || o.cfg.MaxBodyBytes != 256<<20 || o.cfg.Timeout != 60*time.Second {
+		t.Errorf("defaults = %+v", o.cfg)
+	}
+	if o.drain != 30*time.Second {
+		t.Errorf("drain = %v", o.drain)
+	}
+}
+
+func TestParseFlagsRejections(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]string{
+		"missing models":       {},
+		"models not a dir":     {"-models", dir + "/nope"},
+		"negative parallelism": {"-models", dir, "-parallelism", "-1"},
+		"negative inflight":    {"-models", dir, "-max-inflight", "-2"},
+		"zero body cap":        {"-models", dir, "-max-body", "0"},
+		"zero timeout":         {"-models", dir, "-timeout", "0s"},
+		"zero drain":           {"-models", dir, "-drain", "0s"},
+	}
+	for name, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseFlagsParallelismMessage(t *testing.T) {
+	// The rejection must explain the knob the way the other commands do.
+	_, err := parseFlags([]string{"-models", t.TempDir(), "-parallelism", "-3"})
+	if err == nil || !strings.Contains(err.Error(), "0 = all cores") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -199,6 +199,15 @@ func (fw *Framework) EstimateConfig(f *Field, targetRatio float64) (Estimate, er
 	return fw.inner.EstimateConfig(f, targetRatio)
 }
 
+// EstimateFromFeatures predicts the knob from pre-extracted features alone —
+// one model query, no field access. caRatio supplies the Compressibility
+// Adjustment block ratio R when the caller knows it (NonConstantR of an
+// earlier estimate for the same variable); caRatio <= 0 skips adjustment.
+// This is the fxrzd serving fast path for clients that cache their features.
+func (fw *Framework) EstimateFromFeatures(ft Features, targetRatio, caRatio float64) (Estimate, error) {
+	return fw.inner.EstimateFromFeatures(ft, targetRatio, caRatio)
+}
+
 // CompressToRatio estimates the knob for the target ratio and compresses the
 // field with it, returning the stream and the estimate used.
 func (fw *Framework) CompressToRatio(f *Field, targetRatio float64) ([]byte, Estimate, error) {

@@ -1,0 +1,68 @@
+package fxrz_test
+
+import (
+	"math"
+	"testing"
+
+	fxrz "github.com/fxrz-go/fxrz"
+)
+
+// FuzzDecompress drives the top-level container dispatch — the exact path
+// the fxrzd serve layer feeds attacker-controlled request bodies into — with
+// arbitrary byte streams across every codec magic. The contract is strict:
+// truncated, bit-flipped or absurd-dims inputs must come back as errors,
+// never panics or implausibly large allocations, and the parallel decoder
+// must agree with the serial one on both the verdict and every bit of the
+// reconstruction.
+func FuzzDecompress(f *testing.F) {
+	fld, err := fxrz.NewField("seed", 6, 7, 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := range fld.Data {
+		fld.Data[i] = float32(i%13)*0.5 - float32(i%7)*0.25
+	}
+	// One valid stream per codec magic, so mutations explore each decoder's
+	// near-valid neighborhood through the shared dispatch.
+	for _, c := range []fxrz.Compressor{
+		fxrz.NewSZ(), fxrz.NewSZ2(), fxrz.NewZFP(), fxrz.NewMGARD(),
+	} {
+		if blob, err := c.Compress(fld, 1e-3); err == nil {
+			f.Add(blob)
+		}
+	}
+	if blob, err := fxrz.NewZFPFixedRate().Compress(fld, 8); err == nil {
+		f.Add(blob)
+	}
+	if blob, err := fxrz.NewFPZIP().Compress(fld, 16); err == nil {
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x5A})
+	// Headers claiming absurd geometry: dims whose product overflows int64
+	// and dims far beyond any plausible payload budget.
+	f.Add([]byte{0x5A, 0x01, 's', 0x04,
+		0xff, 0xff, 0xff, 0xff, 0x1f, 0xff, 0xff, 0xff, 0xff, 0x1f,
+		0xff, 0xff, 0xff, 0xff, 0x1f, 0xff, 0xff, 0xff, 0xff, 0x1f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := fxrz.Decompress(data)
+		if err == nil && g != nil && g.Size() > 1<<24 {
+			t.Skip("oversized but well-formed header")
+		}
+		for _, w := range []int{2, 3} {
+			pg, perr := fxrz.DecompressParallel(data, w)
+			if (err == nil) != (perr == nil) {
+				t.Fatalf("w=%d: serial err=%v, parallel err=%v", w, err, perr)
+			}
+			if err != nil {
+				continue
+			}
+			for i := range g.Data {
+				if math.Float32bits(g.Data[i]) != math.Float32bits(pg.Data[i]) {
+					t.Fatalf("w=%d sample %d: serial %x, parallel %x",
+						w, i, math.Float32bits(g.Data[i]), math.Float32bits(pg.Data[i]))
+				}
+			}
+		}
+	})
+}

@@ -151,6 +151,38 @@ func (a Axis) Span(n int) []float64 {
 // allocating, so corrupt streams cannot demand gigabyte buffers.
 func MaxPlausibleElems(payloadLen int) int { return 65536*payloadLen + 65536 }
 
+// maxAddressableElems mirrors grid's addressable-size ceiling (2^40
+// samples); header dims whose product exceeds it can never name a real
+// field and are rejected as corrupt before any arithmetic that could
+// overflow.
+const maxAddressableElems = 1 << 40
+
+// CheckElems validates the element count a decoded header claims against
+// the payload that supposedly encodes it, returning the dims product. The
+// product is accumulated overflow-safely, so absurd headers (four maximal
+// dims whose naive product wraps around int64 to something small) fail
+// here — before any decoder allocation — rather than slipping past a
+// naive `product > budget` compare. Every decode path calls this right
+// after ParseHeader: the serve layer feeds attacker-controlled bytes
+// straight into Decompress, and the contract is errors, never panics or
+// unbounded allocations.
+func CheckElems(dims []int, payloadLen int) (int, error) {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return 0, fmt.Errorf("%w: non-positive dim %d", ErrCorrupt, d)
+		}
+		if n > maxAddressableElems/d {
+			return 0, fmt.Errorf("%w: dims %v overflow addressable size", ErrCorrupt, dims)
+		}
+		n *= d
+	}
+	if n > MaxPlausibleElems(payloadLen) {
+		return 0, fmt.Errorf("%w: %d elements implausible for %d payload bytes", ErrCorrupt, n, payloadLen)
+	}
+	return n, nil
+}
+
 // Ratio returns the compression ratio of an encoded stream for a field.
 func Ratio(f *grid.Field, blob []byte) float64 {
 	if len(blob) == 0 {

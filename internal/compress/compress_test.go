@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -150,5 +151,32 @@ func TestHeaderQuick(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCheckElems(t *testing.T) {
+	if n, err := CheckElems([]int{6, 7, 5}, 1024); err != nil || n != 210 {
+		t.Fatalf("valid dims rejected: n=%d err=%v", n, err)
+	}
+	cases := []struct {
+		name    string
+		dims    []int
+		payload int
+	}{
+		{"zero dim", []int{0, 4}, 1024},
+		{"negative dim", []int{-3}, 1024},
+		{"budget exceeded", []int{1 << 20, 1 << 10}, 2},
+		// The naive product of four maximal dims wraps int64 to something
+		// tiny; the overflow-safe accumulation must still reject it.
+		{"int64 overflow", []int{1 << 32, 1 << 32, 1 << 32, 1 << 32}, 1 << 20},
+		{"addressable overflow", []int{1 << 30, 1 << 30}, 1 << 30},
+	}
+	for _, tc := range cases {
+		n, err := CheckElems(tc.dims, tc.payload)
+		if err == nil {
+			t.Errorf("%s: accepted (n=%d)", tc.name, n)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", tc.name, err)
+		}
 	}
 }

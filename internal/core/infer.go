@@ -87,3 +87,34 @@ func (fw *Framework) EstimateConfig(f *grid.Field, targetRatio float64) (Estimat
 	est.PredictTime = time.Since(t2)
 	return est, nil
 }
+
+// EstimateFromFeatures runs inference from pre-extracted features alone — no
+// field access at all, only a model query. This is the serving fast path: a
+// client that already knows its data features (or caches them per variable)
+// gets a knob back for the cost of one forest walk. Without the field the
+// Compressibility Adjustment block scan cannot run, so the caller supplies
+// the CA block ratio R explicitly; passing r <= 0 (or 1) skips adjustment,
+// exactly as a CA-disabled framework would behave.
+func (fw *Framework) EstimateFromFeatures(ft Features, targetRatio, r float64) (Estimate, error) {
+	if fw.model == nil {
+		return Estimate{}, fmt.Errorf("core: framework not trained")
+	}
+	if !(targetRatio > 0) || math.IsInf(targetRatio, 0) {
+		return Estimate{}, fmt.Errorf("core: target ratio must be a positive finite number, got %v", targetRatio)
+	}
+	if !(r > 0) {
+		r = 1
+	}
+	defer obs.Span("infer/estimate_features")()
+	var est Estimate
+	est.NonConstantR = r
+	est.AdjustedRatio = AdjustRatio(targetRatio, r)
+	if est.AdjustedRatio < fw.ratioLo || est.AdjustedRatio > fw.ratioHi {
+		est.Extrapolating = true
+	}
+	t0 := time.Now()
+	x := append(ft.Vector(), est.AdjustedRatio)
+	est.Knob = fw.axis.FromModel(fw.model.Predict(x))
+	est.PredictTime = time.Since(t0)
+	return est, nil
+}

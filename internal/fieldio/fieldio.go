@@ -1,0 +1,114 @@
+// Package fieldio reads and writes the fxrzfield container — the tiny
+// self-describing on-disk and on-wire format for dense float32 fields used
+// by cmd/fxrz files and the fxrzd HTTP endpoints alike:
+//
+//	fxrzfield <name> <d0> [d1 ...]\n
+//	<little-endian float32 samples, row-major>
+//
+// The header line is ASCII so a field file identifies itself under `head`;
+// the payload is raw sample bits, so round trips are bit-exact (NaN
+// payloads included).
+package fieldio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// magicWord opens every container header line.
+const magicWord = "fxrzfield"
+
+// maxHeaderLen bounds the header line a reader will buffer before giving
+// up: a name plus four 13-digit dims fit comfortably, while a binary blob
+// mistaken for a field file fails fast instead of buffering gigabytes
+// hunting for a newline.
+const maxHeaderLen = 4096
+
+// Write serialises f to w in the fxrzfield container format.
+func Write(w io.Writer, f *grid.Field) error {
+	bw := bufio.NewWriter(w)
+	name := strings.ReplaceAll(f.Name, " ", "_")
+	if name == "" {
+		name = "field"
+	}
+	if _, err := fmt.Fprintf(bw, "%s %s", magicWord, name); err != nil {
+		return err
+	}
+	for _, d := range f.Dims {
+		if _, err := fmt.Fprintf(bw, " %d", d); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	var buf [4]byte
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses one field from r. Dimension validation is grid's (1–4 strictly
+// positive dims, bounded product), so a malicious header cannot demand an
+// unbounded allocation beyond what its dims legitimately describe; callers
+// reading from untrusted sources should additionally cap the reader itself
+// (the serve layer uses http.MaxBytesReader).
+func Read(r io.Reader) (*grid.Field, error) {
+	br := bufio.NewReader(r)
+	header, err := readHeaderLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Fields(header)
+	if len(parts) < 3 || parts[0] != magicWord {
+		return nil, fmt.Errorf("fieldio: not an fxrzfield container")
+	}
+	name := parts[1]
+	dims := make([]int, 0, len(parts)-2)
+	for _, p := range parts[2:] {
+		d, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("fieldio: bad dim %q", p)
+		}
+		dims = append(dims, d)
+	}
+	f, err := grid.New(name, dims...)
+	if err != nil {
+		return nil, fmt.Errorf("fieldio: %w", err)
+	}
+	raw := make([]byte, 4*f.Size())
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("fieldio: reading %d samples: %w", f.Size(), err)
+	}
+	for i := range f.Data {
+		f.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return f, nil
+}
+
+// readHeaderLine reads up to maxHeaderLen bytes of the ASCII header line.
+func readHeaderLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for sb.Len() < maxHeaderLen {
+		b, err := br.ReadByte()
+		if err != nil {
+			return "", fmt.Errorf("fieldio: reading header: %w", err)
+		}
+		if b == '\n' {
+			return sb.String(), nil
+		}
+		sb.WriteByte(b)
+	}
+	return "", fmt.Errorf("fieldio: header line exceeds %d bytes", maxHeaderLen)
+}

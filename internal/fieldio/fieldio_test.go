@@ -1,0 +1,66 @@
+package fieldio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := grid.MustNew("a test field", 3, 4, 5)
+	for i := range f.Data {
+		f.Data[i] = float32(i) * 0.25
+	}
+	// Bit-exactness must survive NaN payloads and infinities.
+	f.Data[0] = float32(math.NaN())
+	f.Data[1] = float32(math.Inf(1))
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "a_test_field" {
+		t.Errorf("name = %q", g.Name)
+	}
+	if len(g.Dims) != 3 || g.Dims[0] != 3 || g.Dims[1] != 4 || g.Dims[2] != 5 {
+		t.Errorf("dims = %v", g.Dims)
+	}
+	for i := range f.Data {
+		if math.Float32bits(f.Data[i]) != math.Float32bits(g.Data[i]) {
+			t.Fatalf("sample %d: %x != %x", i, math.Float32bits(f.Data[i]), math.Float32bits(g.Data[i]))
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"wrong magic":  "notafield x 3\nxxxx",
+		"no dims":      "fxrzfield x\n",
+		"bad dim":      "fxrzfield x 3 four\n",
+		"zero dim":     "fxrzfield x 0\n",
+		"neg dim":      "fxrzfield x -3\n",
+		"too many":     "fxrzfield x 2 2 2 2 2\n",
+		"overflow dim": "fxrzfield x 9999999 9999999 9999999\n",
+		"truncated":    "fxrzfield x 2 2\n\x00\x00",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadRejectsUnboundedHeader(t *testing.T) {
+	// A binary stream with no newline must fail fast, not buffer forever.
+	junk := strings.Repeat("\xff", 3*maxHeaderLen)
+	if _, err := Read(strings.NewReader(junk)); err == nil {
+		t.Fatal("headerless binary stream accepted")
+	}
+}

@@ -116,8 +116,8 @@ func (c *Compressor) Decompress(blob []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fpzip: %w", err)
 	}
-	if n := elemCount(h.Dims); n > compress.MaxPlausibleElems(len(payload)) {
-		return nil, fmt.Errorf("fpzip: %w: %d elements implausible for %d payload bytes", compress.ErrCorrupt, n, len(payload))
+	if _, err := compress.CheckElems(h.Dims, len(payload)); err != nil {
+		return nil, fmt.Errorf("fpzip: %w", err)
 	}
 	p := int(h.Knob)
 	if p < 2 || p > 32 {

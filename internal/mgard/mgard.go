@@ -101,8 +101,8 @@ func (*Compressor) Decompress(blob []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mgard: %w", err)
 	}
-	if n := elemCount(h.Dims); n > compress.MaxPlausibleElems(len(payload)) {
-		return nil, fmt.Errorf("mgard: %w: %d elements implausible for %d payload bytes", compress.ErrCorrupt, n, len(payload))
+	if _, err := compress.CheckElems(h.Dims, len(payload)); err != nil {
+		return nil, fmt.Errorf("mgard: %w", err)
 	}
 	pcLen, k := binary.Uvarint(payload)
 	if k <= 0 || uint64(len(payload)-k) < pcLen {

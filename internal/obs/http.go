@@ -1,0 +1,16 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler that serves the active recorder's
+// snapshot as indented JSON — the body behind fxrzd's /metrics endpoint.
+// With recording disabled it serves an empty snapshot, so the endpoint is
+// always safe to mount.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// WriteJSON only fails when the ResponseWriter does, at which point
+		// the status line is already on the wire; nothing useful remains.
+		_ = TakeSnapshot().WriteJSON(w)
+	})
+}

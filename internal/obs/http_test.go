@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	Enable()
+	defer Disable()
+	Reset()
+	Inc("http_test/hits")
+	Observe("http_test/latency", 3*time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["http_test/hits"] != 1 {
+		t.Errorf("counter = %d", s.Counters["http_test/hits"])
+	}
+	if st, ok := s.Spans["http_test/latency"]; !ok || st.Count != 1 {
+		t.Errorf("span stats = %+v (ok=%v)", st, ok)
+	}
+}
+
+func TestHandlerDisabledServesEmpty(t *testing.T) {
+	Disable()
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Errorf("disabled snapshot not empty: %+v", s)
+	}
+}

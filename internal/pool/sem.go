@@ -1,0 +1,60 @@
+package pool
+
+import "context"
+
+// Semaphore is a counting semaphore bounding concurrent admissions — the
+// serving layer's in-flight request gate. It complements Split: fxrzd admits
+// at most MaxInFlight heavy requests and hands each the inner share of the
+// worker budget, so serving concurrency and intra-field parallelism do not
+// multiply past the configured core budget.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore with n slots (n < 1 is treated as 1).
+func NewSemaphore(n int) *Semaphore {
+	if n < 1 {
+		n = 1
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking, reporting whether it succeeded.
+// Admission control uses this form: a full server sheds load immediately
+// (429) instead of queueing work it cannot start.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx.Err in
+// the latter case.
+func (s *Semaphore) Acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a previously acquired slot. Releasing more than was
+// acquired panics, as that always indicates an accounting bug.
+func (s *Semaphore) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("pool: Semaphore.Release without matching Acquire")
+	}
+}
+
+// Cap returns the slot count.
+func (s *Semaphore) Cap() int { return cap(s.slots) }
+
+// InUse returns the number of currently held slots (racy by nature; for
+// gauges and tests only).
+func (s *Semaphore) InUse() int { return len(s.slots) }

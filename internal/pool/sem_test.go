@@ -1,0 +1,94 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := NewSemaphore(2)
+	if s.Cap() != 2 {
+		t.Fatalf("Cap = %d", s.Cap())
+	}
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("could not fill empty semaphore")
+	}
+	if s.TryAcquire() {
+		t.Fatal("over-admitted past capacity")
+	}
+	if s.InUse() != 2 {
+		t.Fatalf("InUse = %d", s.InUse())
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestSemaphoreAcquireContext(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx); err == nil {
+		t.Fatal("acquire on full semaphore did not honor context")
+	}
+	s.Release()
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	const slots, workers = 3, 16
+	s := NewSemaphore(slots)
+	var mu sync.Mutex
+	var cur, peak int
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := s.Acquire(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > slots {
+		t.Fatalf("peak concurrency %d exceeded %d slots", peak, slots)
+	}
+}
+
+func TestSemaphoreReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched Release did not panic")
+		}
+	}()
+	NewSemaphore(1).Release()
+}
+
+func TestSemaphoreMinimumOneSlot(t *testing.T) {
+	s := NewSemaphore(0)
+	if s.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", s.Cap())
+	}
+}

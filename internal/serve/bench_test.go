@@ -1,0 +1,139 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/datagen"
+	"github.com/fxrz-go/fxrz/internal/fieldio"
+	"github.com/fxrz-go/fxrz/internal/serve"
+)
+
+// The BenchmarkServe* pairs measure what the HTTP layer costs on top of the
+// library: the `direct` variant calls the framework in-process, the `http`
+// variant sends the same work through a real server round trip (routing,
+// admission, container parse, response write). BENCH_serve.json records the
+// http/direct overhead ratio per endpoint and benchguard gates it — the
+// serving layer must stay a wrapper, not a tax. Ratios are within-run, so
+// the gate is meaningful on any machine. Re-record with `make bench-serve`.
+
+// benchEnv is the shared benchmark fixture: one server, one field, one
+// pre-compressed stream, all reusing the TestMain-trained model.
+type benchEnv struct {
+	ts      *httptest.Server
+	field   *fxrz.Field
+	body    []byte // field as an fxrzfield container
+	blob    []byte // field compressed at target
+	target  float64
+	fwBound *fxrz.Framework // parallelism-bound framework, as the server uses it
+}
+
+func newBenchEnv(b *testing.B) *benchEnv {
+	b.Helper()
+	f, err := datagenField()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := trainedFW.ValidRatioRange(f)
+	target := lo + 0.5*(hi-lo)
+	var buf bytes.Buffer
+	if err := fieldio.Write(&buf, f); err != nil {
+		b.Fatal(err)
+	}
+	blob, _, err := trainedFW.CompressToRatio(f, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := serve.NewServer(serve.Config{ModelsDir: modelsDir, Parallelism: 1})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	// Warm the model cache so benchmarks measure serving, not the cold load.
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	return &benchEnv{
+		ts: ts, field: f, body: buf.Bytes(), blob: blob, target: target,
+		fwBound: trainedFW.WithParallelism(1),
+	}
+}
+
+func datagenField() (*fxrz.Field, error) {
+	return datagen.NyxField("baryon_density", 2, 2, 24)
+}
+
+func (e *benchEnv) post(b *testing.B, path string, body []byte) []byte {
+	b.Helper()
+	resp, err := http.Post(e.ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		b.Fatal(rerr)
+	}
+	if resp.StatusCode != 200 {
+		b.Fatalf("%s: status %d: %s", path, resp.StatusCode, out)
+	}
+	return out
+}
+
+func BenchmarkServeEstimate(b *testing.B) {
+	e := newBenchEnv(b)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.fwBound.EstimateConfig(e.field, e.target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		path := fmt.Sprintf("/v1/estimate?model=nyx-sz&target=%g", e.target)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.post(b, path, e.body)
+		}
+	})
+}
+
+func BenchmarkServePack(b *testing.B) {
+	e := newBenchEnv(b)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.fwBound.CompressToRatio(e.field, e.target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		path := fmt.Sprintf("/v1/pack?model=nyx-sz&target=%g", e.target)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.post(b, path, e.body)
+		}
+	})
+}
+
+func BenchmarkServeUnpack(b *testing.B) {
+	e := newBenchEnv(b)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fxrz.Decompress(e.blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.post(b, "/v1/unpack", e.blob)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/obs"
+)
+
+// modelExt is the file extension a trained model must carry under the
+// registry's directory: `fxrz train -o models/<id>.fxm` publishes a model
+// the daemon can serve as <id>.
+const modelExt = ".fxm"
+
+// Registry is fxrzd's long-lived model store: a concurrency-safe LRU cache
+// of trained frameworks keyed by model ID and loaded on demand from the
+// persistence format under one directory. Cold loads are single-flight —
+// any number of concurrent requests for the same absent model trigger
+// exactly one disk read and gob decode, with the rest waiting on the first.
+type Registry struct {
+	dir      string
+	capacity int
+
+	mu     sync.Mutex
+	loaded map[string]*regEntry
+	// lru orders resident model IDs, most recently used last. Model counts
+	// are small (the cache holds whole random forests, tens of MB each), so
+	// a slice scan beats a linked list in both clarity and constants.
+	lru    []string
+	flight map[string]*flightCall
+}
+
+// regEntry is one resident model.
+type regEntry struct {
+	fw   *fxrz.Framework
+	size int64
+}
+
+// flightCall tracks one in-progress cold load.
+type flightCall struct {
+	done chan struct{}
+	fw   *fxrz.Framework
+	err  error
+}
+
+// NewRegistry returns a registry serving models from dir, holding at most
+// capacity trained frameworks resident (capacity < 1 is treated as 1).
+func NewRegistry(dir string, capacity int) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Registry{
+		dir:      dir,
+		capacity: capacity,
+		loaded:   make(map[string]*regEntry),
+		flight:   make(map[string]*flightCall),
+	}
+}
+
+// ErrUnknownModel reports a model ID with no file behind it.
+var ErrUnknownModel = fmt.Errorf("serve: unknown model")
+
+// ErrBadModelID reports a syntactically invalid model ID.
+var ErrBadModelID = fmt.Errorf("serve: invalid model id")
+
+// checkID accepts the IDs List can produce and nothing else — in particular
+// nothing that could escape the models directory.
+func checkID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("%w: %q", ErrBadModelID, id)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("%w: %q", ErrBadModelID, id)
+		}
+	}
+	if strings.HasPrefix(id, ".") {
+		return fmt.Errorf("%w: %q", ErrBadModelID, id)
+	}
+	return nil
+}
+
+// Get returns the framework for id, loading it from disk on a cache miss.
+// Waiters joining an in-progress load detach when ctx is done; the load
+// itself keeps running and still populates the cache for later requests.
+func (r *Registry) Get(ctx context.Context, id string) (*fxrz.Framework, error) {
+	if err := checkID(id); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if e, ok := r.loaded[id]; ok {
+		r.touch(id)
+		r.mu.Unlock()
+		obs.Inc("serve/model_cache/hits")
+		return e.fw, nil
+	}
+	if c, ok := r.flight[id]; ok {
+		r.mu.Unlock()
+		obs.Inc("serve/model_cache/joins")
+		select {
+		case <-c.done:
+			return c.fw, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	r.flight[id] = c
+	r.mu.Unlock()
+
+	obs.Inc("serve/model_cache/misses")
+	c.fw, c.err = r.loadFromDisk(id)
+
+	r.mu.Lock()
+	delete(r.flight, id)
+	if c.err == nil {
+		r.insert(id, c.fw)
+	}
+	r.mu.Unlock()
+	close(c.done)
+	return c.fw, c.err
+}
+
+// touch moves id to the most-recently-used end. Caller holds r.mu.
+func (r *Registry) touch(id string) {
+	for i, v := range r.lru {
+		if v == id {
+			r.lru = append(append(r.lru[:i:i], r.lru[i+1:]...), id)
+			return
+		}
+	}
+	r.lru = append(r.lru, id)
+}
+
+// insert makes id resident, evicting least-recently-used models past the
+// capacity. Caller holds r.mu.
+func (r *Registry) insert(id string, fw *fxrz.Framework) {
+	var size int64
+	if fi, err := os.Stat(r.modelPath(id)); err == nil {
+		size = fi.Size()
+	}
+	r.loaded[id] = &regEntry{fw: fw, size: size}
+	r.touch(id)
+	for len(r.loaded) > r.capacity {
+		victim := r.lru[0]
+		r.lru = r.lru[1:]
+		delete(r.loaded, victim)
+		obs.Inc("serve/model_cache/evictions")
+	}
+	obs.SetGauge("serve/model_cache/resident", int64(len(r.loaded)))
+}
+
+func (r *Registry) modelPath(id string) string {
+	return filepath.Join(r.dir, id+modelExt)
+}
+
+// loadFromDisk performs the cold load outside the registry lock.
+func (r *Registry) loadFromDisk(id string) (*fxrz.Framework, error) {
+	defer obs.Span("serve/model_load")()
+	f, err := os.Open(r.modelPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownModel, id)
+		}
+		return nil, fmt.Errorf("serve: opening model %q: %w", id, err)
+	}
+	defer f.Close()
+	fw, err := fxrz.Load(f)
+	if err != nil {
+		obs.Inc("serve/model_cache/load_errors")
+		return nil, fmt.Errorf("serve: loading model %q: %w", id, err)
+	}
+	return fw, nil
+}
+
+// ModelInfo describes one model the registry can serve.
+type ModelInfo struct {
+	ID         string `json:"id"`
+	Loaded     bool   `json:"loaded"`
+	Compressor string `json:"compressor,omitempty"`
+	SizeBytes  int64  `json:"size_bytes"`
+}
+
+// List enumerates the model files under the registry directory, sorted by
+// ID, annotating the resident ones with their codec.
+func (r *Registry) List() ([]ModelInfo, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listing models: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ModelInfo
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, modelExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, modelExt)
+		if checkID(id) != nil {
+			continue
+		}
+		info := ModelInfo{ID: id}
+		if fi, err := de.Info(); err == nil {
+			info.SizeBytes = fi.Size()
+		}
+		if e, ok := r.loaded[id]; ok {
+			info.Loaded = true
+			info.Compressor = e.fw.Compressor().Name()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Resident returns the IDs of the currently cached models (tests and the
+// healthz endpoint).
+func (r *Registry) Resident() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.lru...)
+}

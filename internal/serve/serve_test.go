@@ -1,0 +1,661 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/datagen"
+	"github.com/fxrz-go/fxrz/internal/fieldio"
+	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/serve"
+)
+
+// The fixture: one quick SZ model trained in TestMain, saved under several
+// IDs so cache-eviction tests have distinct models to rotate through.
+var (
+	modelsDir string
+	trainedFW *fxrz.Framework
+)
+
+// modelIDs are the fixture's registered model IDs (all the same forest).
+var modelIDs = []string{"nyx-sz", "m0", "m1", "m2", "m3"}
+
+func TestMain(m *testing.M) {
+	obs.Enable()
+	code, err := buildFixtureAndRun(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve fixture:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func buildFixtureAndRun(m *testing.M) (int, error) {
+	dir, err := os.MkdirTemp("", "fxrzd-models-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	modelsDir = dir
+
+	var fields []*fxrz.Field
+	for _, ts := range []int{1, 3, 5} {
+		f, err := datagen.NyxField("baryon_density", 1, ts, 24)
+		if err != nil {
+			return 0, err
+		}
+		fields = append(fields, f)
+	}
+	cfg := fxrz.DefaultConfig()
+	cfg.StationaryPoints = 10
+	cfg.AugmentPerField = 50
+	cfg.Trees = 25
+	trainedFW, err = fxrz.Train(fxrz.NewSZ(), fields, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	if err := trainedFW.Save(&buf); err != nil {
+		return 0, err
+	}
+	for _, id := range modelIDs {
+		if err := os.WriteFile(filepath.Join(dir, id+".fxm"), buf.Bytes(), 0o644); err != nil {
+			return 0, err
+		}
+	}
+	// A non-model file the registry must skip, and a corrupt model it must
+	// refuse to serve.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a model"), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.fxm"), []byte("FXRZMODEL1 nope"), 0o644); err != nil {
+		return 0, err
+	}
+	return m.Run(), nil
+}
+
+func testField(t *testing.T) *fxrz.Field {
+	t.Helper()
+	f, err := datagen.NyxField("baryon_density", 2, 2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// midTarget picks a target ratio comfortably inside the model's valid range.
+func midTarget(t *testing.T, f *fxrz.Field) float64 {
+	t.Helper()
+	lo, hi := trainedFW.ValidRatioRange(f)
+	if !(hi > lo) {
+		t.Fatalf("invalid ratio range [%v, %v]", lo, hi)
+	}
+	return lo + 0.5*(hi-lo)
+}
+
+// newTestServer starts an httptest server over a fresh serve.Server.
+func newTestServer(t *testing.T, mutate func(*serve.Config)) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	cfg := serve.Config{ModelsDir: modelsDir}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := serve.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// fieldBody serialises f as an fxrzfield container.
+func fieldBody(t *testing.T, f *fxrz.Field) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fieldio.Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+func decodeJSON[T any](t *testing.T, r io.Reader) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestEstimateFieldMode(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	f := testField(t)
+	target := midTarget(t, f)
+
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/estimate?model=nyx-sz&target=%g", ts.URL, target),
+		"application/octet-stream", fieldBody(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	er := decodeJSON[serve.EstimateResponse](t, resp.Body)
+	if er.Compressor != "sz" || er.Model != "nyx-sz" {
+		t.Errorf("identity = %q/%q", er.Model, er.Compressor)
+	}
+	// The endpoint must agree exactly with a direct library call: same
+	// model, same field, deterministic inference.
+	want, err := trainedFW.EstimateConfig(f, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Knob != want.Knob {
+		t.Errorf("knob = %v, direct call = %v", er.Knob, want.Knob)
+	}
+	if er.NonConstantR != want.NonConstantR || er.AdjustedRatio != want.AdjustedRatio {
+		t.Errorf("analysis = (%v, %v), direct = (%v, %v)",
+			er.NonConstantR, er.AdjustedRatio, want.NonConstantR, want.AdjustedRatio)
+	}
+	if len(er.ValidRange) != 2 || !(er.ValidRange[1] > er.ValidRange[0]) {
+		t.Errorf("valid range = %v", er.ValidRange)
+	}
+}
+
+func TestEstimateFeaturesMode(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	f := testField(t)
+	target := midTarget(t, f)
+	full, err := trainedFW.EstimateConfig(f, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := fxrz.ExtractFeatures(f, 4)
+	body, _ := json.Marshal(serve.FeaturesRequest{
+		ValueRange: ft.ValueRange, MeanValue: ft.MeanValue,
+		MND: ft.MND, MLD: ft.MLD, MSD: ft.MSD,
+		CARatio: full.NonConstantR,
+	})
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/estimate?model=nyx-sz&target=%g", ts.URL, target),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	er := decodeJSON[serve.EstimateResponse](t, resp.Body)
+	// Features + the same CA ratio reproduce the full analysis exactly.
+	if er.Knob != full.Knob {
+		t.Errorf("features-mode knob = %v, field-mode = %v", er.Knob, full.Knob)
+	}
+	if er.ValidRange != nil {
+		t.Errorf("features mode reported a field-dependent valid range: %v", er.ValidRange)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	f := testField(t)
+	target := midTarget(t, f)
+
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, target),
+		"application/octet-stream", fieldBody(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pack status %d: %s", resp.StatusCode, blob)
+	}
+	knob, err := strconv.ParseFloat(resp.Header.Get("X-Fxrz-Knob"), 64)
+	if err != nil || !(knob > 0) {
+		t.Fatalf("X-Fxrz-Knob = %q (%v)", resp.Header.Get("X-Fxrz-Knob"), err)
+	}
+	if got := resp.Header.Get("X-Fxrz-Compressor"); got != "sz" {
+		t.Errorf("X-Fxrz-Compressor = %q", got)
+	}
+	// The served stream is exactly what the library produces.
+	wantBlob, est, err := trainedFW.CompressToRatio(f, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, wantBlob) {
+		t.Error("served stream differs from direct CompressToRatio stream")
+	}
+	if knob != est.Knob {
+		t.Errorf("served knob %v, direct %v", knob, est.Knob)
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/unpack", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		b, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("unpack status %d: %s", resp2.StatusCode, b)
+	}
+	g, err := fieldio.Read(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Served reconstruction is bit-identical to the library's.
+	want, err := fxrz.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Float32bits(want.Data[i]) != math.Float32bits(g.Data[i]) {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	// And honors the error bound end to end.
+	maxErr, err := fxrz.MaxAbsError(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > knob*(1+1e-6) {
+		t.Errorf("round-trip error %g exceeds knob %g", maxErr, knob)
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	f := testField(t)
+	// Load one model so the listing distinguishes resident from cold.
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/estimate?model=nyx-sz&target=%g", ts.URL, midTarget(t, f)),
+		"application/octet-stream", fieldBody(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	mr := decodeJSON[serve.ModelsResponse](t, resp.Body)
+	// 5 fixture IDs + corrupt.fxm; README.txt skipped.
+	if len(mr.Models) != len(modelIDs)+1 {
+		t.Fatalf("listed %d models: %+v", len(mr.Models), mr.Models)
+	}
+	byID := map[string]serve.ModelInfo{}
+	for _, mi := range mr.Models {
+		byID[mi.ID] = mi
+	}
+	if mi := byID["nyx-sz"]; !mi.Loaded || mi.Compressor != "sz" || mi.SizeBytes <= 0 {
+		t.Errorf("nyx-sz info = %+v", mi)
+	}
+	if mi := byID["m0"]; mi.Loaded {
+		t.Errorf("m0 unexpectedly resident: %+v", mi)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	f := testField(t)
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, midTarget(t, f)),
+		"application/octet-stream", fieldBody(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	health := decodeJSON[serve.HealthResponse](t, hr.Body)
+	if health.Status != "ok" || health.AdmissionSlots < 1 {
+		t.Errorf("health = %+v", health)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	snap := decodeJSON[obs.Snapshot](t, mr.Body)
+	if snap.Counters["serve/requests/pack"] < 1 {
+		t.Errorf("pack request counter = %d", snap.Counters["serve/requests/pack"])
+	}
+	st, ok := snap.Spans["serve/latency/pack"]
+	if !ok || st.Count < 1 {
+		t.Fatalf("pack latency histogram missing: %+v", st)
+	}
+	if !(st.P99MS > 0) || st.P99MS < st.P50MS {
+		t.Errorf("latency percentiles implausible: p50=%v p99=%v", st.P50MS, st.P99MS)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	f := testField(t)
+	target := midTarget(t, f)
+	post := func(url, ct string, body io.Reader) *http.Response {
+		t.Helper()
+		resp, err := http.Post(url, ct, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	cases := []struct {
+		name string
+		resp *http.Response
+		want int
+	}{
+		{"unknown model", post(fmt.Sprintf("%s/v1/estimate?model=ghost&target=%g", ts.URL, target),
+			"application/octet-stream", fieldBody(t, f)), 404},
+		{"traversal id", post(fmt.Sprintf("%s/v1/estimate?model=..%%2F..%%2Fetc&target=%g", ts.URL, target),
+			"application/octet-stream", fieldBody(t, f)), 400},
+		{"missing target", post(ts.URL+"/v1/estimate?model=nyx-sz",
+			"application/octet-stream", fieldBody(t, f)), 400},
+		{"bad target", post(ts.URL+"/v1/estimate?model=nyx-sz&target=-5",
+			"application/octet-stream", fieldBody(t, f)), 400},
+		{"garbage field", post(fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, target),
+			"application/octet-stream", bytes.NewReader([]byte("not a field"))), 400},
+		{"corrupt model file", post(fmt.Sprintf("%s/v1/estimate?model=corrupt&target=%g", ts.URL, target),
+			"application/octet-stream", fieldBody(t, f)), 500},
+		{"corrupt unpack blob", post(ts.URL+"/v1/unpack",
+			"application/octet-stream", bytes.NewReader([]byte{0x5A, 0x01, 0x02})), 400},
+		{"bad features json", post(fmt.Sprintf("%s/v1/estimate?model=nyx-sz&target=%g", ts.URL, target),
+			"application/json", bytes.NewReader([]byte("{nope"))), 400},
+	}
+	for _, tc := range cases {
+		if tc.resp.StatusCode != tc.want {
+			body, _ := io.ReadAll(tc.resp.Body)
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, tc.resp.StatusCode, tc.want, body)
+		}
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(tc.resp.Body).Decode(&apiErr); err == nil && apiErr.Error == "" {
+			t.Errorf("%s: missing error envelope", tc.name)
+		}
+	}
+}
+
+func TestBodyCap413(t *testing.T) {
+	ts, _ := newTestServer(t, func(c *serve.Config) { c.MaxBodyBytes = 64 })
+	f := testField(t)
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, midTarget(t, f)),
+		"application/octet-stream", fieldBody(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestTimeout503(t *testing.T) {
+	ts, _ := newTestServer(t, func(c *serve.Config) { c.Timeout = time.Nanosecond })
+	f := testField(t)
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, midTarget(t, f)),
+		"application/octet-stream", fieldBody(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestOverload429 holds the single admission slot with a request whose body
+// never finishes arriving, then checks that the next request is shed with
+// 429 (and a Retry-After) instead of queueing, and that the slot-holder
+// still completes once its body lands.
+func TestOverload429(t *testing.T) {
+	ts, _ := newTestServer(t, func(c *serve.Config) { c.MaxInFlight = 1 })
+	f := testField(t)
+	target := midTarget(t, f)
+
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(
+			fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, target),
+			"application/octet-stream", pr)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != 200 {
+				err = fmt.Errorf("slot holder status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Wait until the slot holder is admitted (visible through /healthz).
+	waitInFlight(t, ts.URL, 1)
+
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/estimate?model=nyx-sz&target=%g", ts.URL, target),
+		"application/octet-stream", fieldBody(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Deliver the held request's body; it must complete normally.
+	var buf bytes.Buffer
+	if err := fieldio.Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(pw, &buf); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitInFlight polls /healthz until the reported in-flight count reaches n.
+func waitInFlight(t *testing.T, url string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := decodeJSON[serve.HealthResponse](t, resp.Body)
+		resp.Body.Close()
+		if h.InFlight >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for request admission")
+}
+
+// TestGracefulShutdownDrain starts a request whose body is still in flight,
+// initiates Shutdown, and verifies the server waits for the request to
+// complete (with a correct response) before Shutdown returns.
+func TestGracefulShutdownDrain(t *testing.T) {
+	cfg := serve.Config{ModelsDir: modelsDir}
+	s := serve.NewServer(cfg)
+	srv := httptest.NewServer(s.Handler())
+	// No t.Cleanup(srv.Close): the test ends with the server shut down.
+
+	f := testField(t)
+	target := midTarget(t, f)
+	pr, pw := io.Pipe()
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(
+			fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", srv.URL, target),
+			"application/octet-stream", pr)
+		if err == nil {
+			blob, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				err = fmt.Errorf("drained request status %d: %s", resp.StatusCode, blob)
+			} else if _, derr := fxrz.Decompress(blob); derr != nil {
+				err = fmt.Errorf("drained request returned corrupt stream: %w", derr)
+			}
+		}
+		reqDone <- err
+	}()
+	waitInFlight(t, srv.URL, 1)
+
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- srv.Config.Shutdown(context.Background()) }()
+
+	// The in-flight request must not have been killed by Shutdown: give the
+	// drain a moment, then complete the body.
+	select {
+	case err := <-reqDone:
+		t.Fatalf("request finished before its body arrived: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	var buf bytes.Buffer
+	if err := fieldio.Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(pw, &buf); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request not drained cleanly: %v", err)
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeConcurrentClients hammers a small-capacity server with mixed
+// estimate/pack/unpack clients under -race: every request must end in a
+// correct result or a clean 429 (which the client retries), never a panic,
+// a corrupt stream, or a wrong reconstruction.
+func TestServeConcurrentClients(t *testing.T) {
+	ts, _ := newTestServer(t, func(c *serve.Config) { c.MaxInFlight = 2 })
+	f := testField(t)
+	target := midTarget(t, f)
+	wantBlob, est, err := trainedFW.CompressToRatio(f, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRec, err := fxrz.Decompress(wantBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fieldBytes bytes.Buffer
+	if err := fieldio.Write(&fieldBytes, f); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			errs <- func() error {
+				for attempt := 0; attempt < 100; attempt++ {
+					var resp *http.Response
+					var err error
+					switch i % 3 {
+					case 0: // estimate
+						resp, err = http.Post(
+							fmt.Sprintf("%s/v1/estimate?model=nyx-sz&target=%g", ts.URL, target),
+							"application/octet-stream", bytes.NewReader(fieldBytes.Bytes()))
+					case 1: // pack
+						resp, err = http.Post(
+							fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, target),
+							"application/octet-stream", bytes.NewReader(fieldBytes.Bytes()))
+					default: // unpack
+						resp, err = http.Post(ts.URL+"/v1/unpack",
+							"application/octet-stream", bytes.NewReader(wantBlob))
+					}
+					if err != nil {
+						return err
+					}
+					body, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if rerr != nil {
+						return rerr
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						time.Sleep(time.Duration(1+i) * time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != 200 {
+						return fmt.Errorf("client %d: status %d: %s", i, resp.StatusCode, body)
+					}
+					switch i % 3 {
+					case 0:
+						var er serve.EstimateResponse
+						if err := json.Unmarshal(body, &er); err != nil {
+							return err
+						}
+						if er.Knob != est.Knob {
+							return fmt.Errorf("client %d: knob %v, want %v", i, er.Knob, est.Knob)
+						}
+					case 1:
+						if !bytes.Equal(body, wantBlob) {
+							return fmt.Errorf("client %d: served stream differs", i)
+						}
+					default:
+						g, err := fieldio.Read(bytes.NewReader(body))
+						if err != nil {
+							return err
+						}
+						for j := range wantRec.Data {
+							if math.Float32bits(wantRec.Data[j]) != math.Float32bits(g.Data[j]) {
+								return fmt.Errorf("client %d: sample %d differs", i, j)
+							}
+						}
+					}
+					return nil
+				}
+				return fmt.Errorf("client %d: starved by 429s", i)
+			}()
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

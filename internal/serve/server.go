@@ -1,0 +1,430 @@
+// Package serve is fxrzd's HTTP layer: the online surface of the paper's
+// core claim that fixed-ratio error-bound estimation is cheap enough to sit
+// behind an endpoint. /v1/estimate answers "which knob reaches this target
+// compression ratio" from a feature vector or a raw field sample without
+// ever running a compressor — the property that separates FXRZ from
+// search-based FRaZ, whose per-request iterative compression makes online
+// serving impractical — while /v1/pack and /v1/unpack run the actual codecs
+// through the ParallelCompressor plumbing for clients that want the bytes.
+//
+// The server owns three serving concerns the library does not:
+//
+//   - a model Registry (LRU cache of trained forests, single-flight cold
+//     loads from the Save/Load persistence format),
+//   - admission control (a bounded in-flight semaphore sharing the
+//     pool.Split budget rule so request concurrency and intra-field workers
+//     do not multiply, per-request timeouts, request body caps), and
+//   - observability (per-endpoint counters and latency histograms through
+//     internal/obs, exported at /metrics with p50/p90/p99).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/fieldio"
+	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/pool"
+)
+
+// Config sizes the server's serving limits. The zero value of every field
+// selects a production-safe default.
+type Config struct {
+	// ModelsDir is the directory of .fxm model files the registry serves.
+	ModelsDir string
+	// CacheSize caps resident models in the registry (default 8).
+	CacheSize int
+	// MaxInFlight bounds concurrently admitted heavy requests (estimate,
+	// pack, unpack); excess requests are shed with 429 immediately rather
+	// than queued. Default: the worker budget, one request per worker.
+	MaxInFlight int
+	// MaxBodyBytes caps request bodies (default 256 MiB — a 384³ float32
+	// field with headroom). Oversized requests get 413.
+	MaxBodyBytes int64
+	// Timeout bounds each admitted request (default 60s). Cancellation is
+	// checked between pipeline stages; an expired request gets 503.
+	Timeout time.Duration
+	// Parallelism is the total intra-field worker budget shared by all
+	// admitted requests (0 = all cores), divided by pool.Split: with
+	// MaxInFlight requests admitted, each runs its codec and analysis
+	// passes with budget/MaxInFlight workers, so admission × inner workers
+	// stays at the configured budget.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 8
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = pool.Workers(c.Parallelism)
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the fxrzd request handler set. Create with NewServer, mount
+// with Handler.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	admit *pool.Semaphore
+	// inner is the per-request intra-field worker budget under full
+	// admission, per the pool.Split rule.
+	inner int
+}
+
+// NewServer builds a server from cfg (see Config for defaults).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	_, inner := pool.Split(pool.Workers(cfg.Parallelism), cfg.MaxInFlight)
+	obs.SetGauge("serve/admission_slots", int64(cfg.MaxInFlight))
+	obs.SetGauge("serve/workers_per_request", int64(inner))
+	return &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.ModelsDir, cfg.CacheSize),
+		admit: pool.NewSemaphore(cfg.MaxInFlight),
+		inner: inner,
+	}
+}
+
+// Registry exposes the model cache (cmd/fxrzd logs it; tests inspect it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the routed handler: the public v1 API plus health and
+// metrics endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/estimate", s.instrument("estimate", true, s.handleEstimate))
+	mux.Handle("POST /v1/pack", s.instrument("pack", true, s.handlePack))
+	mux.Handle("POST /v1/unpack", s.instrument("unpack", true, s.handleUnpack))
+	mux.Handle("GET /v1/models", s.instrument("models", false, s.handleModels))
+	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.Handle("GET /metrics", obs.Handler())
+	return mux
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// instrument wraps a handler with the serving concerns: request/error
+// counters and a latency histogram under the endpoint's name, and — for
+// heavy endpoints — admission control: an in-flight slot (429 when none
+// free), the request timeout, and the body size cap.
+func (s *Server) instrument(ep string, heavy bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obs.Inc("serve/requests/" + ep)
+		defer obs.Span("serve/latency/" + ep)()
+		if heavy {
+			if !s.admit.TryAcquire() {
+				obs.Inc("serve/rejected/overload")
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("server at capacity (%d requests in flight)", s.admit.Cap()))
+				return
+			}
+			defer s.admit.Release()
+			obs.AddGauge("serve/inflight", 1)
+			obs.MaxGauge("serve/inflight_peak", int64(s.admit.InUse()))
+			defer obs.AddGauge("serve/inflight", -1)
+
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		if sw.code >= 400 {
+			obs.Inc("serve/errors/" + ep)
+		}
+	})
+}
+
+// statusWriter records the status code for the error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps err to its status and sends the JSON envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// errorStatus maps pipeline errors to HTTP statuses: client-caused ones
+// (unknown model, malformed container, oversized body) get 4xx, an expired
+// request budget gets 503, anything else is a 500.
+func errorStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadModelID), errors.Is(err, errBadRequest),
+		errors.Is(err, compress.ErrCorrupt):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log line only.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errBadRequest tags client-caused failures for errorStatus.
+var errBadRequest = errors.New("bad request")
+
+// badRequestf wraps a client-caused error.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
+}
+
+// fail is the common error exit of every handler.
+func fail(w http.ResponseWriter, err error) {
+	writeError(w, errorStatus(err), err)
+}
+
+// modelAndTarget parses the query parameters shared by estimate and pack.
+func modelAndTarget(r *http.Request) (id string, target float64, err error) {
+	id = r.URL.Query().Get("model")
+	if id == "" {
+		return "", 0, badRequestf("missing required query parameter %q", "model")
+	}
+	ts := r.URL.Query().Get("target")
+	if ts == "" {
+		return "", 0, badRequestf("missing required query parameter %q", "target")
+	}
+	target, perr := strconv.ParseFloat(ts, 64)
+	if perr != nil || !(target > 0) {
+		return "", 0, badRequestf("target must be a positive ratio, got %q", ts)
+	}
+	return id, target, nil
+}
+
+// FeaturesRequest is the JSON body of a features-mode estimate: the five
+// adopted data features of the paper (Table II), plus the optional CA block
+// ratio a field-mode estimate for the same variable previously reported as
+// non_constant_r.
+type FeaturesRequest struct {
+	ValueRange float64 `json:"value_range"`
+	MeanValue  float64 `json:"mean_value"`
+	MND        float64 `json:"mnd"`
+	MLD        float64 `json:"mld"`
+	MSD        float64 `json:"msd"`
+	CARatio    float64 `json:"ca_ratio,omitempty"`
+}
+
+// EstimateResponse is the JSON body of a successful estimate.
+type EstimateResponse struct {
+	Model         string    `json:"model"`
+	Compressor    string    `json:"compressor"`
+	TargetRatio   float64   `json:"target_ratio"`
+	Knob          float64   `json:"knob"`
+	AdjustedRatio float64   `json:"adjusted_ratio"`
+	NonConstantR  float64   `json:"non_constant_r"`
+	Extrapolating bool      `json:"extrapolating"`
+	ValidRange    []float64 `json:"valid_ratio_range,omitempty"`
+	AnalysisMS    float64   `json:"analysis_ms"`
+}
+
+// handleEstimate answers POST /v1/estimate?model=ID&target=N. A JSON body
+// (Content-Type: application/json) supplies pre-extracted features — the
+// model-query-only fast path; any other body is read as an fxrzfield
+// container and analysed the full way (stride-sampled feature extraction
+// plus the CA block scan). Neither path runs a compressor.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	const ep = "estimate"
+	id, target, err := modelAndTarget(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	fw, err := s.reg.Get(r.Context(), id)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	fw = fw.WithParallelism(s.inner)
+	resp := EstimateResponse{Model: id, Compressor: fw.Compressor().Name(), TargetRatio: target}
+
+	var est fxrz.Estimate
+	if r.Header.Get("Content-Type") == "application/json" {
+		var req FeaturesRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			fail(w, badRequestf("decoding features: %v", err))
+			return
+		}
+		est, err = fw.EstimateFromFeatures(fxrz.Features{
+			ValueRange: req.ValueRange, MeanValue: req.MeanValue,
+			MND: req.MND, MLD: req.MLD, MSD: req.MSD,
+		}, target, req.CARatio)
+		if err != nil {
+			fail(w, badRequestf("%v", err))
+			return
+		}
+	} else {
+		f, err := fieldio.Read(r.Body)
+		if err != nil {
+			fail(w, asBodyError(err))
+			return
+		}
+		if err := r.Context().Err(); err != nil {
+			fail(w, err)
+			return
+		}
+		est, err = fw.EstimateConfig(f, target)
+		if err != nil {
+			fail(w, badRequestf("%v", err))
+			return
+		}
+		lo, hi := fw.ValidRatioRange(f)
+		resp.ValidRange = []float64{lo, hi}
+	}
+	resp.Knob = est.Knob
+	resp.AdjustedRatio = est.AdjustedRatio
+	resp.NonConstantR = est.NonConstantR
+	resp.Extrapolating = est.Extrapolating
+	resp.AnalysisMS = float64(est.AnalysisTime()) / 1e6
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// asBodyError upgrades a wrapped MaxBytesError to itself (so errorStatus
+// sees 413) and tags everything else as a client error.
+func asBodyError(err error) error {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return tooBig
+	}
+	return badRequestf("%v", err)
+}
+
+// handlePack answers POST /v1/pack?model=ID&target=N: the body is an
+// fxrzfield container; the response is the compressed stream produced at
+// the estimated knob, with the estimate in X-Fxrz-* headers.
+func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
+	const ep = "pack"
+	id, target, err := modelAndTarget(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	fw, err := s.reg.Get(r.Context(), id)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	fw = fw.WithParallelism(s.inner)
+	f, err := fieldio.Read(r.Body)
+	if err != nil {
+		fail(w, asBodyError(err))
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		fail(w, err)
+		return
+	}
+	blob, est, err := fw.CompressToRatio(f, target)
+	if err != nil {
+		fail(w, badRequestf("%v", err))
+		return
+	}
+	obs.Add("serve/bytes/packed_in", int64(f.Bytes()))
+	obs.Add("serve/bytes/packed_out", int64(len(blob)))
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.Itoa(len(blob)))
+	h.Set("X-Fxrz-Compressor", fw.Compressor().Name())
+	h.Set("X-Fxrz-Knob", strconv.FormatFloat(est.Knob, 'g', -1, 64))
+	h.Set("X-Fxrz-Achieved-Ratio", strconv.FormatFloat(fxrz.Ratio(f, blob), 'g', 6, 64))
+	h.Set("X-Fxrz-Extrapolating", strconv.FormatBool(est.Extrapolating))
+	_, _ = w.Write(blob)
+}
+
+// handleUnpack answers POST /v1/unpack: the body is any stream a built-in
+// codec produced (the magic byte dispatches); the response is the
+// reconstructed field as an fxrzfield container.
+func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {
+	const ep = "unpack"
+	blob, err := io.ReadAll(r.Body)
+	if err != nil {
+		fail(w, asBodyError(err))
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		fail(w, err)
+		return
+	}
+	f, err := fxrz.DecompressParallel(blob, s.inner)
+	if err != nil {
+		fail(w, badRequestf("%v", err))
+		return
+	}
+	obs.Add("serve/bytes/unpacked_out", int64(f.Bytes()))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := fieldio.Write(w, f); err != nil {
+		// Headers are gone; all we can do is count it.
+		obs.Inc("serve/errors/unpack_write")
+	}
+}
+
+// ModelsResponse is the JSON body of GET /v1/models.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	models, err := s.reg.List()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ModelsResponse{Models: models})
+}
+
+// HealthResponse is the JSON body of GET /healthz.
+type HealthResponse struct {
+	Status         string   `json:"status"`
+	InFlight       int      `json:"in_flight"`
+	AdmissionSlots int      `json:"admission_slots"`
+	ResidentModels []string `json:"resident_models"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:         "ok",
+		InFlight:       s.admit.InUse(),
+		AdmissionSlots: s.admit.Cap(),
+		ResidentModels: s.reg.Resident(),
+	})
+}

@@ -122,8 +122,8 @@ func decompressSZ(blob []byte, forceGeneric bool, workers int) (*grid.Field, err
 	if err != nil {
 		return nil, fmt.Errorf("sz: %w", err)
 	}
-	if n := elemCount(h.Dims); n > compress.MaxPlausibleElems(len(payload)) {
-		return nil, fmt.Errorf("sz: %w: %d elements implausible for %d payload bytes", compress.ErrCorrupt, n, len(payload))
+	if _, err := compress.CheckElems(h.Dims, len(payload)); err != nil {
+		return nil, fmt.Errorf("sz: %w", err)
 	}
 	pcLen, k := binary.Uvarint(payload)
 	if k <= 0 || uint64(len(payload)-k) < pcLen {

@@ -183,8 +183,8 @@ func (*V2) Decompress(blob []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sz2: %w", err)
 	}
-	if n := elemCount(h.Dims); n > compress.MaxPlausibleElems(len(payload)) {
-		return nil, fmt.Errorf("sz2: %w: %d elements implausible for %d payload bytes", compress.ErrCorrupt, n, len(payload))
+	if _, err := compress.CheckElems(h.Dims, len(payload)); err != nil {
+		return nil, fmt.Errorf("sz2: %w", err)
 	}
 	section := func() ([]byte, error) {
 		l, k := binary.Uvarint(payload)

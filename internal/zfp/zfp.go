@@ -89,8 +89,8 @@ func (c *Compressor) Decompress(blob []byte) (*grid.Field, error) {
 		return nil, fmt.Errorf("zfp: %w: missing mode", compress.ErrCorrupt)
 	}
 	mode, payload := payload[0], payload[1:]
-	if n := elemCount(h.Dims); n > compress.MaxPlausibleElems(len(payload)) {
-		return nil, fmt.Errorf("zfp: %w: %d elements implausible for %d payload bytes", compress.ErrCorrupt, n, len(payload))
+	if _, err := compress.CheckElems(h.Dims, len(payload)); err != nil {
+		return nil, fmt.Errorf("zfp: %w", err)
 	}
 	f, err := grid.New(h.Name, h.Dims...)
 	if err != nil {
