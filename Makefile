@@ -4,7 +4,7 @@
 # The CI workflow (.github/workflows/ci.yml) runs lint, verify, verify-race,
 # cover and the bench-smoke/benchguard pair on every push and pull request.
 
-.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-smoke benchguard fuzz-smoke
+.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-roi bench-smoke benchguard fuzz-smoke
 
 verify:
 	go build ./... && go test ./...
@@ -64,6 +64,17 @@ bench-serve:
 		|| { echo "$$out"; exit 1; }; \
 	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_serve.json
 
+# Run the region-decode benchmarks and gate the full-vs-eighth speedup
+# against the floors recorded in BENCH_roi.json: an eighth-volume decode out
+# of an indexed zfp stream must stay >= 4x faster than a full decode.
+# Speedups are within-run ratios, so the gate holds on any machine. Run this
+# (and re-record the JSON) after touching the region decode paths
+# (internal/roi, internal/zfp/region.go, internal/sz/region.go).
+bench-roi:
+	@out="$$(go test -run '^$$' -bench BenchmarkRegionDecode -benchtime 1s .)" \
+		|| { echo "$$out"; exit 1; }; \
+	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_roi.json
+
 # One-iteration benchmark pass: proves the benchmarks still run, without
 # trusting the timings of a shared CI box (the timing gate is bench-kernels,
 # run on a quiet recording machine).
@@ -72,6 +83,7 @@ bench-smoke:
 	go test -run '^$$' -bench BenchmarkKernel -benchtime 1x \
 		./internal/sz/ ./internal/zfp/ ./internal/entropy/ ./internal/core/
 	go test -run '^$$' -bench BenchmarkServe -benchtime 1x ./internal/serve/
+	go test -run '^$$' -bench BenchmarkRegionDecode -benchtime 1x .
 
 # Short fuzzing burst over every Fuzz* target, starting from the committed
 # seed corpora (regenerate seeds with `go run ./cmd/genfixtures`). Each
@@ -90,4 +102,4 @@ fuzz-smoke:
 # Validate the recorded baseline files stay machine-readable and keep their
 # speedup floors.
 benchguard:
-	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json
+	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json BENCH_roi.json

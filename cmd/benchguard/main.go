@@ -129,6 +129,41 @@ var serveOverheadCaps = map[string]float64{
 // requiredEndpoints is the roster a serve baseline must cover.
 var requiredEndpoints = []string{"estimate", "pack", "unpack"}
 
+// roiBaseline mirrors the schema of BENCH_roi.json: per-codec ns to decode a
+// fixed subvolume out of an indexed stream versus a full decode through the
+// same entry point, with the within-run ratio recorded as the region speedup.
+// Like the serve overheads, the ratio is measured within one run on one
+// machine, so it gates anywhere.
+type roiBaseline struct {
+	Benchmark string         `json:"benchmark"`
+	Date      string         `json:"date"`
+	Runner    compressRunner `json:"runner"`
+	Regions   []roiEntry     `json:"regions"`
+}
+
+type roiEntry struct {
+	Name              string  `json:"name"`
+	Bench             string  `json:"bench"`
+	NsFull            float64 `json:"ns_full"`
+	NsRegion          float64 `json:"ns_region"`
+	Speedup           float64 `json:"speedup"`
+	VolumeFrac        float64 `json:"volume_frac"`
+	SpeedupFloor      float64 `json:"speedup_floor"`
+	IndexOverheadFrac float64 `json:"index_overhead_frac"`
+	IndexOverheadCap  float64 `json:"index_overhead_cap"`
+}
+
+// requiredRegions is the roster a roi baseline must cover, and the headline
+// entry's merge-time guarantees: the zfp eighth-volume decode must be >= 4x
+// faster than a full decode while its index stays within 1% of the blob.
+var requiredRegions = []string{"zfp_eighth", "sz_eighth"}
+
+const (
+	roiHeadline             = "zfp_eighth"
+	roiHeadlineSpeedupFloor = 4.0
+	roiHeadlineOverheadCap  = 0.01
+)
+
 // kernelBaseline mirrors the schema of BENCH_kernels.json.
 type kernelBaseline struct {
 	Benchmark string         `json:"benchmark"`
@@ -165,11 +200,14 @@ func validate(raw []byte) error {
 		Kernels   []json.RawMessage `json:"kernels"`
 		Codecs    []json.RawMessage `json:"codecs"`
 		Endpoints []json.RawMessage `json:"endpoints"`
+		Regions   []json.RawMessage `json:"regions"`
 	}
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		return fmt.Errorf("not valid JSON: %w", err)
 	}
 	switch {
+	case probe.Regions != nil:
+		return validateRoi(raw)
 	case probe.Endpoints != nil:
 		return validateServe(raw)
 	case probe.Codecs != nil:
@@ -179,9 +217,76 @@ func validate(raw []byte) error {
 	case probe.Results != nil:
 		return validateTrain(raw)
 	default:
-		return fmt.Errorf("unrecognized schema: none of %q, %q, %q, %q present",
-			"results", "kernels", "codecs", "endpoints")
+		return fmt.Errorf("unrecognized schema: none of %q, %q, %q, %q, %q present",
+			"results", "kernels", "codecs", "endpoints", "regions")
 	}
+}
+
+func validateRoi(raw []byte) error {
+	var b roiBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if err := validateCommon(b.Benchmark, b.Date); err != nil {
+		return err
+	}
+	if b.Runner.Cores <= 0 {
+		return fmt.Errorf("runner.cores must be > 0, got %d", b.Runner.Cores)
+	}
+	seen := make(map[string]roiEntry, len(b.Regions))
+	for i, e := range b.Regions {
+		if e.Name == "" {
+			return fmt.Errorf("regions[%d]: missing name", i)
+		}
+		if _, dup := seen[e.Name]; dup {
+			return fmt.Errorf("regions[%d]: duplicate entry for %q", i, e.Name)
+		}
+		seen[e.Name] = e
+		if e.Bench == "" {
+			return fmt.Errorf("regions[%d] (%s): missing bench", i, e.Name)
+		}
+		if !(e.NsFull > 0) || !(e.NsRegion > 0) {
+			return fmt.Errorf("regions[%d] (%s): ns_full/ns_region must be > 0, got %v/%v",
+				i, e.Name, e.NsFull, e.NsRegion)
+		}
+		if !(e.Speedup > 0) {
+			return fmt.Errorf("regions[%d] (%s): speedup must be > 0, got %v", i, e.Name, e.Speedup)
+		}
+		if ratio := e.NsFull / e.NsRegion; ratio/e.Speedup > 1.01 || e.Speedup/ratio > 1.01 {
+			return fmt.Errorf("regions[%d] (%s): speedup %.3f inconsistent with full/region ratio %.3f",
+				i, e.Name, e.Speedup, ratio)
+		}
+		if !(e.VolumeFrac > 0 && e.VolumeFrac <= 1) {
+			return fmt.Errorf("regions[%d] (%s): volume_frac must be in (0, 1], got %v", i, e.Name, e.VolumeFrac)
+		}
+		if e.SpeedupFloor > 0 && e.Speedup < e.SpeedupFloor {
+			return fmt.Errorf("regions[%d] (%s): speedup %.2fx below the %.1fx floor",
+				i, e.Name, e.Speedup, e.SpeedupFloor)
+		}
+		if e.IndexOverheadFrac < 0 {
+			return fmt.Errorf("regions[%d] (%s): index_overhead_frac must be >= 0, got %v",
+				i, e.Name, e.IndexOverheadFrac)
+		}
+		if e.IndexOverheadCap > 0 && e.IndexOverheadFrac > e.IndexOverheadCap {
+			return fmt.Errorf("regions[%d] (%s): index overhead %.4f exceeds the %.2f cap",
+				i, e.Name, e.IndexOverheadFrac, e.IndexOverheadCap)
+		}
+	}
+	for _, name := range requiredRegions {
+		if _, ok := seen[name]; !ok {
+			return fmt.Errorf("missing required region %q", name)
+		}
+	}
+	// The headline entry must keep its merge-time guarantees, not just any
+	// self-declared floor.
+	h := seen[roiHeadline]
+	if h.SpeedupFloor < roiHeadlineSpeedupFloor {
+		return fmt.Errorf("%s: speedup_floor %.2f below the required %.1fx", roiHeadline, h.SpeedupFloor, roiHeadlineSpeedupFloor)
+	}
+	if !(h.IndexOverheadCap > 0) || h.IndexOverheadCap > roiHeadlineOverheadCap {
+		return fmt.Errorf("%s: index_overhead_cap %v must be in (0, %.2f]", roiHeadline, h.IndexOverheadCap, roiHeadlineOverheadCap)
+	}
+	return nil
 }
 
 func validateCompress(raw []byte) error {
@@ -516,6 +621,37 @@ func parseServeBenchLine(line string) (name, role string, v float64, ok bool) {
 	return strings.ToLower(base), role, v, true
 }
 
+// parseRoiBenchLine extracts (region entry, role, ns/op) from a
+// BenchmarkRegionDecode/zfp/full-style line: the full decode plays the
+// "before" role and the subvolume decode the "after", so the pair's
+// before/after ratio is the region speedup.
+func parseRoiBenchLine(line string) (name, role string, v float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkRegionDecode/") {
+		return "", "", 0, false
+	}
+	parts := strings.Split(procSuffix.ReplaceAllString(fields[0], ""), "/")
+	if len(parts) != 3 {
+		return "", "", 0, false
+	}
+	switch parts[2] {
+	case "full":
+		role = "before"
+	case "eighth":
+		role = "after"
+	default:
+		return "", "", 0, false
+	}
+	if fields[3] != "ns/op" {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || !(v > 0) {
+		return "", "", 0, false
+	}
+	return parts[1] + "_eighth", role, v, true
+}
+
 // runDeltas implements -deltas: pair up variants from bench output, print the
 // old-vs-new table, and gate against the recorded baseline if one was given.
 // Kernel lines pair generic/fast variants; compress lines pair the w1/w4
@@ -530,6 +666,8 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 	compressGate := cores >= multiCoreMin
 	isCompress := map[string]bool{}
 	isServe := map[string]bool{}
+	isRoi := map[string]bool{}
+	roiFloors := map[string]float64{}
 	record := func(name, role string, v float64) {
 		p := measured[name]
 		if p == nil {
@@ -551,6 +689,11 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 		if name, role, v, ok := parseCompressBenchLine(sc.Text()); ok {
 			record(name, role, v)
 			isCompress[name] = true
+			continue
+		}
+		if name, role, v, ok := parseRoiBenchLine(sc.Text()); ok {
+			record(name, role, v)
+			isRoi[name] = true
 			continue
 		}
 		if name, role, v, ok := parseServeBenchLine(sc.Text()); ok {
@@ -577,9 +720,11 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 		var kb kernelBaseline
 		var cb compressBaseline
 		var sb serveBaseline
+		var rb roiBaseline
 		_ = json.Unmarshal(raw, &kb) // validated above
 		_ = json.Unmarshal(raw, &cb)
 		_ = json.Unmarshal(raw, &sb)
+		_ = json.Unmarshal(raw, &rb)
 		for _, k := range kb.Kernels {
 			recorded[k.Name] = k.Speedup
 		}
@@ -590,6 +735,10 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 			// The serve pair's before/after ratio is direct/http, i.e. the
 			// inverse of the recorded overhead.
 			recorded[e.Name] = 1 / e.Overhead
+		}
+		for _, e := range rb.Regions {
+			recorded[e.Name] = e.Speedup
+			roiFloors[e.Name] = e.SpeedupFloor
 		}
 	}
 
@@ -614,6 +763,10 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 			switch {
 			case isCompress[name] && !compressGate:
 				note += " (not gated: <4 cores)"
+			case isRoi[name]:
+				// Region pairs gate on their absolute floors below; the
+				// recorded ratio stays informational, because the sz pair's
+				// small ratio swings more than 10% run to run on busy boxes.
 			case sp < minSpeedup*rec:
 				failures = append(failures, fmt.Sprintf(
 					"%s: measured speedup %.2fx regressed >10%% against recorded %.2fx", name, sp, rec))
@@ -623,6 +776,15 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 			if cap, ok := serveOverheadCaps[name]; ok && 1/sp > cap {
 				failures = append(failures, fmt.Sprintf(
 					"%s: serving overhead %.2fx exceeds the %.1fx cap", name, 1/sp, cap))
+			}
+		}
+		if isRoi[name] {
+			if floor := roiFloors[name]; floor > 0 {
+				note += fmt.Sprintf(" (gate: %.1fx floor)", floor)
+				if sp < floor {
+					failures = append(failures, fmt.Sprintf(
+						"%s: region speedup %.2fx below the %.1fx floor", name, sp, floor))
+				}
 			}
 		}
 		if isCompress[name] && compressGate && strings.HasSuffix(name, "_pack") && sp < packSpeedupFloor {

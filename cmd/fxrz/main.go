@@ -7,8 +7,9 @@
 //
 //	fxrz gen   -app nyx -field baryon_density -config 1 -ts 1 -size 48 -o baryon.f32
 //	fxrz est   -c sz -target 100 -train a.f32,b.f32 -in test.f32
-//	fxrz pack  -c sz -target 100 -train a.f32,b.f32 -in test.f32 -o test.szc
+//	fxrz pack  -c sz -target 100 -train a.f32,b.f32 -in test.f32 -o test.szc -index
 //	fxrz unpack -in test.szc -o restored.f32
+//	fxrz unpack -in test.szc -o slab.f32 -region 0:16,32:64,32:64
 //	fxrz fraz  -c sz -target 100 -iters 15 -in test.f32
 package main
 
@@ -252,6 +253,7 @@ func cmdEstimate(args []string, pack bool) error {
 	model := fs.String("model", "", "trained model file (alternative to -train)")
 	in := fs.String("in", "", "input field file (required)")
 	out := fs.String("o", "", "output stream path (pack only)")
+	index := fs.Bool("index", false, "wrap the stream with a region-decode index (pack only; enables fast unpack -region)")
 	stationary := fs.Int("stationary", 25, "stationary points per training field")
 	parallelism := fs.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
 	obsf := addObsFlags(fs)
@@ -321,6 +323,11 @@ func cmdEstimate(args []string, pack bool) error {
 	if err != nil {
 		return err
 	}
+	if *index {
+		if blob, err = fxrz.IndexBlob(blob); err != nil {
+			return err
+		}
+	}
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return err
 	}
@@ -334,6 +341,7 @@ func cmdUnpack(args []string) error {
 	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
 	in := fs.String("in", "", "input stream (required)")
 	out := fs.String("o", "", "output field file (required)")
+	region := fs.String("region", "", "decode only this subvolume, as half-open ranges lo0:hi0,lo1:hi1,... (slowest dim first)")
 	parallelism := fs.Int("parallelism", 0, "worker pool size (0 = all cores, 1 = serial)")
 	fs.Parse(args)
 	if err := checkParallelism("unpack", *parallelism); err != nil {
@@ -346,7 +354,23 @@ func cmdUnpack(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := fxrz.DecompressParallel(blob, *parallelism)
+	var f *fxrz.Field
+	if *region != "" {
+		lo, hi, err := fxrz.ParseRegion(*region)
+		if err != nil {
+			return fmt.Errorf("unpack: %w", err)
+		}
+		f, err = fxrz.DecompressRegionParallel(blob, lo, hi, *parallelism)
+		if err != nil {
+			return fmt.Errorf("unpack: region %s: %w", *region, err)
+		}
+		if err := writeField(*out, f); err != nil {
+			return err
+		}
+		fmt.Printf("unpacked %s [%s] -> %s: %v\n", *in, *region, *out, f.Dims)
+		return nil
+	}
+	f, err = fxrz.DecompressParallel(blob, *parallelism)
 	if err != nil {
 		return err
 	}

@@ -64,7 +64,8 @@ var fuzzSeedDirs = []struct {
 	{"internal/zfp/testdata/fuzz/FuzzDecompress", []string{"zfp", "zfp-rate"}},
 	{"internal/fpzip/testdata/fuzz/FuzzDecompress", []string{"fpzip"}},
 	{"internal/mgard/testdata/fuzz/FuzzDecompress", []string{"mgard"}},
-	{"testdata/fuzz/FuzzDecompress", []string{"sz", "sz2", "zfp", "zfp-rate", "fpzip", "mgard"}},
+	{"testdata/fuzz/FuzzDecompress", []string{
+		"sz", "sz2", "zfp", "zfp-rate", "fpzip", "mgard", "sz-indexed", "zfp-indexed"}},
 }
 
 func run(args []string) error {
@@ -121,6 +122,21 @@ func run(args []string) error {
 			return err
 		}
 		blobs[gc.name] = blob
+	}
+
+	// Indexed containers over the seekable codecs: pin the region-index
+	// container format (wrapper framing, per-codec index payload, checksum)
+	// so a change to index layout is a visible fixture diff, not a silent
+	// break of archives indexed with an older build.
+	for _, name := range []string{"sz", "zfp"} {
+		indexed, err := fxrz.IndexBlob(blobs[name])
+		if err != nil {
+			return fmt.Errorf("%s index: %w", name, err)
+		}
+		if err := writeFile(filepath.Join(goldenDir, name+"-indexed.blob"), indexed); err != nil {
+			return err
+		}
+		blobs[name+"-indexed"] = indexed
 	}
 
 	// A brick-store container over SZ: pins the random-access archive format.

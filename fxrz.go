@@ -41,6 +41,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/grid"
 	"github.com/fxrz-go/fxrz/internal/metrics"
 	"github.com/fxrz-go/fxrz/internal/mgard"
+	"github.com/fxrz-go/fxrz/internal/roi"
 	"github.com/fxrz-go/fxrz/internal/sz"
 	"github.com/fxrz-go/fxrz/internal/zfp"
 )
@@ -301,11 +302,61 @@ func DecompressParallel(blob []byte, workers int) (*Field, error) {
 		c = fpzip.New()
 	case compress.MagicMGARD:
 		c = mgard.New()
+	case compress.MagicIndexed:
+		// Indexed container: the inner blob is byte-identical to an
+		// un-indexed stream, so full decode is exactly the pre-index path.
+		inner, _, err := roi.Unwrap(blob)
+		if err != nil {
+			return nil, err
+		}
+		return DecompressParallel(inner, workers)
 	default:
 		return nil, fmt.Errorf("fxrz: unrecognised stream (magic 0x%02x)", blob[0])
 	}
 	return compress.WithWorkers(c, workers).Decompress(blob)
 }
+
+// IndexBlob wraps a compressed stream into the indexed container format,
+// building the region index that lets DecompressRegion seek (one extra
+// skim/decode pass at write time, typically <1% extra bytes for zfp
+// streams). Indexing is idempotent; codecs without a seekable layout get an
+// empty index and still region-decode via the fallback path. Full-field
+// decode of the result is bit-identical to decoding the original stream.
+func IndexBlob(blob []byte) ([]byte, error) { return roi.Build(blob) }
+
+// ParseRegion parses the textual region syntax "lo0:hi0,lo1:hi1,..."
+// (half-open, slowest dimension first) shared by `fxrz unpack -region` and
+// the serving layer's region parameter.
+func ParseRegion(s string) (lo, hi []int, err error) { return roi.ParseRegion(s) }
+
+// DecompressRegion decodes only the half-open subvolume [lo, hi) of a
+// stream — an indexed container, a raw codec blob, or a marshaled brick
+// store — returning a field of shape hi-lo whose samples are bit-identical
+// to the corresponding slice of a full decode. With an index (see IndexBlob)
+// the cost scales with the region, not the field: zfp seeks to block
+// offsets, sz restarts the Lorenzo recurrence at the nearest indexed slab,
+// and brick stores read only intersecting chunks. Without one, codecs fall
+// back to skimming or full decode + slice — always correct, just slower.
+func DecompressRegion(blob []byte, lo, hi []int) (*Field, error) {
+	return DecompressRegionParallel(blob, lo, hi, 1)
+}
+
+// DecompressRegionParallel is DecompressRegion with a worker budget for the
+// fallback full-decode paths (the seeking paths are serial — they touch too
+// little data to fan out). Output is bit-identical at every setting.
+func DecompressRegionParallel(blob []byte, lo, hi []int, workers int) (*Field, error) {
+	return roi.DecodeRegion(blob, lo, hi, workers)
+}
+
+// RegionReader provides O(1) materialized random access over a compressed
+// stream: At(coord...) decodes lazily, block by block for zfp streams, and
+// performs zero heap allocations once the blocks under a query region are
+// warm. See OpenReader.
+type RegionReader = roi.Reader
+
+// OpenReader parses a stream (indexed container, raw codec blob, or
+// marshaled brick store) for lazy point access without decoding any samples.
+func OpenReader(blob []byte) (*RegionReader, error) { return roi.NewReader(blob) }
 
 // BrickStore is a chunked compressed representation of one field with
 // random access: each brick decompresses independently, so region reads

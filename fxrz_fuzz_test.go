@@ -29,6 +29,11 @@ func FuzzDecompress(f *testing.F) {
 	} {
 		if blob, err := c.Compress(fld, 1e-3); err == nil {
 			f.Add(blob)
+			// The indexed-container neighborhood: same inner stream wrapped
+			// with a region index, so mutations also explore index parsing.
+			if ix, err := fxrz.IndexBlob(blob); err == nil {
+				f.Add(ix)
+			}
 		}
 	}
 	if blob, err := fxrz.NewZFPFixedRate().Compress(fld, 8); err == nil {
@@ -62,6 +67,54 @@ func FuzzDecompress(f *testing.F) {
 					t.Fatalf("w=%d sample %d: serial %x, parallel %x",
 						w, i, math.Float32bits(g.Data[i]), math.Float32bits(pg.Data[i]))
 				}
+			}
+		}
+		if err != nil {
+			return
+		}
+		// Region cross-check: a deterministic in-bounds subvolume derived
+		// from the input bytes must decode to exactly the matching slice of
+		// the full reconstruction — on mutated-but-valid streams too.
+		dims := g.Dims
+		lo := make([]int, len(dims))
+		hi := make([]int, len(dims))
+		h := 0
+		for _, b := range data {
+			h = h*131 + int(b)&0xFF
+		}
+		if h < 0 {
+			h = -h
+		}
+		for d, n := range dims {
+			a := (h >> (3 * d)) % n
+			b := (h >> (3*d + 7)) % n
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b+1
+		}
+		rg, rerr := fxrz.DecompressRegion(data, lo, hi)
+		if rerr != nil {
+			t.Fatalf("region %v:%v failed on decodable stream: %v", lo, hi, rerr)
+		}
+		i := 0
+		coord := append([]int(nil), lo...)
+		for {
+			if want := g.At(coord...); math.Float32bits(rg.Data[i]) != math.Float32bits(want) {
+				t.Fatalf("region %v:%v sample %d: %x != %x",
+					lo, hi, i, math.Float32bits(rg.Data[i]), math.Float32bits(want))
+			}
+			i++
+			d := len(coord) - 1
+			for ; d >= 0; d-- {
+				coord[d]++
+				if coord[d] < hi[d] {
+					break
+				}
+				coord[d] = lo[d]
+			}
+			if d < 0 {
+				break
 			}
 		}
 	})

@@ -117,6 +117,77 @@ func TestGoldenStreams(t *testing.T) {
 	}
 }
 
+// TestGoldenIndexedStreams pins the indexed-container format: committed
+// indexed blobs must full-decode to the same reconstruction as their raw
+// counterparts, region decode out of them must match the corresponding slice,
+// and re-indexing today must reproduce the committed bytes. It also pins the
+// compatibility promise in the other direction: pre-index blobs (the raw
+// golden streams) must region-decode through the no-index fallback paths.
+func TestGoldenIndexedStreams(t *testing.T) {
+	lo, hi := []int{4, 4, 4}, []int{12, 12, 12}
+	for _, name := range []string{"sz", "zfp"} {
+		t.Run(name, func(t *testing.T) {
+			indexed := readGolden(t, name+"-indexed.blob")
+			raw := readGolden(t, name+".blob")
+			reconBytes := readGolden(t, name+".recon")
+			want, err := fieldio.Read(bytes.NewReader(reconBytes))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Full decode of the indexed container, serial and parallel, must
+			// be bit-identical to the raw stream's pinned reconstruction.
+			got, err := fxrz.Decompress(indexed)
+			if err != nil {
+				t.Fatalf("golden indexed stream no longer decodes: %v", err)
+			}
+			sameBits(t, "indexed serial decode", want, got)
+			got, err = fxrz.DecompressParallel(indexed, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "indexed parallel decode", want, got)
+
+			// Region decode — from the indexed container (seeking path) and
+			// from the raw pre-index blob (fallback path) — must both match
+			// the slice of the pinned reconstruction.
+			for _, src := range []struct {
+				kind string
+				blob []byte
+			}{{"indexed", indexed}, {"pre-index", raw}} {
+				region, err := fxrz.DecompressRegion(src.blob, lo, hi)
+				if err != nil {
+					t.Fatalf("%s region decode: %v", src.kind, err)
+				}
+				i := 0
+				for z := lo[0]; z < hi[0]; z++ {
+					for y := lo[1]; y < hi[1]; y++ {
+						for x := lo[2]; x < hi[2]; x++ {
+							wantV := want.At(z, y, x)
+							if math.Float32bits(region.Data[i]) != math.Float32bits(wantV) {
+								t.Fatalf("%s region sample (%d,%d,%d) = %x, want %x", src.kind,
+									z, y, x, math.Float32bits(region.Data[i]), math.Float32bits(wantV))
+							}
+							i++
+						}
+					}
+				}
+			}
+
+			// Index-build stability: re-indexing the committed raw stream must
+			// reproduce the committed indexed container byte for byte.
+			fresh, err := fxrz.IndexBlob(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fresh, indexed) {
+				t.Errorf("%s index build drifted: emits %d bytes differing from the %d-byte golden container",
+					name, len(fresh), len(indexed))
+			}
+		})
+	}
+}
+
 func TestGoldenBrickStore(t *testing.T) {
 	blob := readGolden(t, "sz-bricks.store")
 	reconBytes := readGolden(t, "sz-bricks.recon")

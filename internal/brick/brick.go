@@ -13,6 +13,7 @@ import (
 
 	"github.com/fxrz-go/fxrz/internal/compress"
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
 )
 
 // Store holds one field compressed as independent bricks.
@@ -64,6 +65,9 @@ func Build(c compress.Compressor, f *grid.Field, brickSide int, knob float64) (*
 
 // Bricks returns the number of bricks.
 func (s *Store) Bricks() int { return len(s.blobs) }
+
+// Dims returns the field geometry of the store.
+func (s *Store) Dims() []int { return append([]int(nil), s.dims...) }
 
 // CompressedBytes returns the total compressed payload size.
 func (s *Store) CompressedBytes() int {
@@ -131,7 +135,51 @@ func (s *Store) ReadRegion(origin, shape []int) (*grid.Field, error) {
 	if touched == 0 {
 		return nil, errors.New("brick: region matched no bricks (corrupt index)")
 	}
+	obs.Add("brick/region_bricks_read", int64(touched))
+	obs.Add("brick/region_bricks_skipped", int64(len(s.blobs)-touched))
 	return out, nil
+}
+
+// RegionByteRanges reports, for each brick intersecting [origin,
+// origin+shape), the half-open byte range its compressed stream (including
+// its length varint) occupies in the Marshal layout. This is the brick
+// analogue of the codec offset indexes: the length-prefixed chunk framing is
+// itself the persisted index, so the ranges are derived rather than stored
+// twice.
+func (s *Store) RegionByteRanges(origin, shape []int) ([][2]int, error) {
+	nd := len(s.dims)
+	if len(origin) != nd || len(shape) != nd {
+		return nil, errors.New("brick: origin/shape dimensionality mismatch")
+	}
+	for d := 0; d < nd; d++ {
+		if origin[d] < 0 || shape[d] <= 0 || origin[d]+shape[d] > s.dims[d] {
+			return nil, fmt.Errorf("brick: region out of bounds in dim %d", d)
+		}
+	}
+	off := 8 + 1 + len(s.name)%256 + 1
+	for _, d := range s.dims {
+		off += uvarintLen(uint64(d))
+	}
+	off += uvarintLen(uint64(s.brickSide))
+	off += uvarintLen(uint64(len(s.blobs)))
+	var ranges [][2]int
+	for i, b := range s.blobs {
+		n := uvarintLen(uint64(len(b))) + len(b)
+		if intersects(s.origins[i], s.shapes[i], origin, shape) {
+			ranges = append(ranges, [2]int{off, off + n})
+		}
+		off += n
+	}
+	return ranges, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // ReadAll reconstructs the whole field.
@@ -272,6 +320,31 @@ func Unmarshal(c compress.Compressor, blob []byte) (*Store, error) {
 	if len(s.origins) != len(s.blobs) {
 		return nil, fmt.Errorf("brick: %d streams for %d bricks", len(s.blobs), len(s.origins))
 	}
+	return s, nil
+}
+
+// IsStore reports whether blob begins with the brick store magic.
+func IsStore(blob []byte) bool {
+	return len(blob) >= 8 && string(blob[:8]) == "FXRZBRK1"
+}
+
+// UnmarshalAuto restores a persisted store, detecting the codec from the
+// magic byte of the first brick stream via resolve. The Marshal layout does
+// not record the codec, so callers that don't know it out of band (e.g. the
+// region-decode dispatcher) use this instead of Unmarshal.
+func UnmarshalAuto(resolve func(magic byte) (compress.Compressor, error), blob []byte) (*Store, error) {
+	s, err := Unmarshal(nil, blob)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.blobs) == 0 || len(s.blobs[0]) == 0 {
+		return nil, errors.New("brick: empty store, cannot detect codec")
+	}
+	c, err := resolve(s.blobs[0][0])
+	if err != nil {
+		return nil, fmt.Errorf("brick: %w", err)
+	}
+	s.codec = c
 	return s, nil
 }
 

@@ -25,6 +25,10 @@ const (
 	MagicZFP   byte = 0x2F
 	MagicFPZIP byte = 0xF2
 	MagicMGARD byte = 0x4D
+	// MagicIndexed marks the indexed container: a codec blob wrapped together
+	// with a region-decode offset index (see internal/roi). The inner blob is
+	// byte-identical to what the codec would have written on its own.
+	MagicIndexed byte = 0xC1
 )
 
 // AppendHeader serialises h onto dst and returns the extended slice.

@@ -1,0 +1,191 @@
+package roi
+
+import (
+	"fmt"
+
+	"github.com/fxrz-go/fxrz/internal/brick"
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/zfp"
+)
+
+// zfpBlockSide mirrors zfp's block extent; the reader's cache granularity.
+const zfpBlockSide = 4
+
+// Reader provides O(1) materialized random access over a compressed stream:
+// point queries decode lazily — at most once per block — into an in-memory
+// cache, after which At is a map lookup plus index arithmetic and performs
+// zero heap allocations (pinned by TestReaderAtZeroAlloc).
+//
+// For ZFP streams up to 3D the cache granularity is the codec's own 4^d
+// block, decoded through the seeking region path, so a cold query costs one
+// block, not one field. Other streams (whose decode is inherently
+// whole-stream) materialize in full on the first query and serve from memory
+// thereafter.
+type Reader struct {
+	blob         []byte
+	inner, index []byte
+	name         string
+	nd           int
+	dims         [grid.MaxDims]int
+	isBrick      bool
+
+	blockMode bool
+	nb        [3]int
+	blocks    map[int][]float32
+	full      *grid.Field
+}
+
+// NewReader parses a container (indexed, raw codec blob, or marshaled brick
+// store) without decoding any samples.
+func NewReader(blob []byte) (*Reader, error) {
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("roi: empty stream")
+	}
+	r := &Reader{blob: blob}
+	if brick.IsStore(blob) {
+		st, err := brick.UnmarshalAuto(codecByMagic, blob)
+		if err != nil {
+			return nil, err
+		}
+		dims := st.Dims()
+		r.isBrick = true
+		r.nd = len(dims)
+		copy(r.dims[:], dims)
+		return r, nil
+	}
+	inner, index := blob, []byte(nil)
+	if IsIndexed(blob) {
+		var err error
+		if inner, index, err = Unwrap(blob); err != nil {
+			return nil, err
+		}
+	}
+	if len(inner) == 0 {
+		return nil, fmt.Errorf("roi: %w: empty inner stream", compress.ErrCorrupt)
+	}
+	if _, err := codecByMagic(inner[0]); err != nil {
+		return nil, err
+	}
+	h, _, err := compress.ParseHeader(inner, inner[0])
+	if err != nil {
+		return nil, fmt.Errorf("roi: %w", err)
+	}
+	r.inner, r.index = inner, index
+	r.name = h.Name
+	r.nd = len(h.Dims)
+	copy(r.dims[:], h.Dims)
+	if inner[0] == compress.MagicZFP && r.nd <= 3 {
+		r.blockMode = true
+		for d := 0; d < r.nd; d++ {
+			r.nb[d] = (h.Dims[d] + zfpBlockSide - 1) / zfpBlockSide
+		}
+		r.blocks = make(map[int][]float32)
+	}
+	return r, nil
+}
+
+// Name returns the field name recorded in the stream ("" for brick stores,
+// which carry their own naming).
+func (r *Reader) Name() string { return r.name }
+
+// Dims returns the field geometry.
+func (r *Reader) Dims() []int { return append([]int(nil), r.dims[:r.nd]...) }
+
+// At returns the decoded sample at coord, decoding lazily. After the blocks
+// covering a region have been touched once, further queries in that region
+// allocate nothing.
+func (r *Reader) At(coord ...int) (float32, error) {
+	if len(coord) != r.nd {
+		return 0, fmt.Errorf("roi: coordinate rank %d does not match %d dims", len(coord), r.nd)
+	}
+	for d, c := range coord {
+		if c < 0 || c >= r.dims[d] {
+			return 0, fmt.Errorf("roi: coordinate %d out of range for dim %d (extent %d)", c, d, r.dims[d])
+		}
+	}
+	if r.full != nil {
+		idx := 0
+		for d, c := range coord {
+			idx = idx*r.dims[d] + c
+		}
+		return r.full.Data[idx], nil
+	}
+	if !r.blockMode {
+		if err := r.materialize(); err != nil {
+			return 0, err
+		}
+		idx := 0
+		for d, c := range coord {
+			idx = idx*r.dims[d] + c
+		}
+		return r.full.Data[idx], nil
+	}
+	k := 0
+	for d := 0; d < r.nd; d++ {
+		k = k*r.nb[d] + coord[d]/zfpBlockSide
+	}
+	vals, ok := r.blocks[k]
+	if !ok {
+		var err error
+		if vals, err = r.decodeBlock(coord); err != nil {
+			return 0, err
+		}
+		r.blocks[k] = vals
+	}
+	idx := 0
+	for d := 0; d < r.nd; d++ {
+		o := (coord[d] / zfpBlockSide) * zfpBlockSide
+		ext := zfpBlockSide
+		if o+ext > r.dims[d] {
+			ext = r.dims[d] - o
+		}
+		idx = idx*ext + (coord[d] - o)
+	}
+	return vals[idx], nil
+}
+
+// decodeBlock decodes the single 4^d block containing coord via the seeking
+// region path (cold path only; the result is cached).
+func (r *Reader) decodeBlock(coord []int) ([]float32, error) {
+	lo := make([]int, r.nd)
+	hi := make([]int, r.nd)
+	for d := 0; d < r.nd; d++ {
+		lo[d] = (coord[d] / zfpBlockSide) * zfpBlockSide
+		hi[d] = lo[d] + zfpBlockSide
+		if hi[d] > r.dims[d] {
+			hi[d] = r.dims[d]
+		}
+	}
+	f, err := zfp.DecompressRegion(r.inner, r.index, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return f.Data, nil
+}
+
+// materialize runs the one-time full decode backing non-block streams.
+func (r *Reader) materialize() error {
+	if r.isBrick {
+		st, err := brick.UnmarshalAuto(codecByMagic, r.blob)
+		if err != nil {
+			return err
+		}
+		f, err := st.ReadAll()
+		if err != nil {
+			return err
+		}
+		r.full = f
+		return nil
+	}
+	c, err := codecByMagic(r.inner[0])
+	if err != nil {
+		return err
+	}
+	f, err := c.Decompress(r.inner)
+	if err != nil {
+		return err
+	}
+	r.full = f
+	return nil
+}

@@ -278,6 +278,72 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 	}
 }
 
+// TestUnpackRegion drives the unpack endpoint's region parameter: a regioned
+// response must carry exactly the requested subvolume of the full
+// reconstruction, for raw and indexed streams alike, and malformed or
+// out-of-bounds regions must come back 400.
+func TestUnpackRegion(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	f := testField(t)
+	blob, _, err := trainedFW.CompressToRatio(f, midTarget(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := fxrz.IndexBlob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := fxrz.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := []int{4, 8, 2}, []int{20, 21, 17}
+	for _, src := range []struct {
+		kind string
+		blob []byte
+	}{{"raw", blob}, {"indexed", indexed}} {
+		resp, err := http.Post(ts.URL+"/v1/unpack?region=4:20,8:21,2:17",
+			"application/octet-stream", bytes.NewReader(src.blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", src.kind, resp.StatusCode, body)
+		}
+		g, err := fieldio.Read(bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Dims) != 3 || g.Dims[0] != 16 || g.Dims[1] != 13 || g.Dims[2] != 15 {
+			t.Fatalf("%s: region dims = %v, want [16 13 15]", src.kind, g.Dims)
+		}
+		i := 0
+		for z := lo[0]; z < hi[0]; z++ {
+			for y := lo[1]; y < hi[1]; y++ {
+				for x := lo[2]; x < hi[2]; x++ {
+					if math.Float32bits(g.Data[i]) != math.Float32bits(full.At(z, y, x)) {
+						t.Fatalf("%s: region sample (%d,%d,%d) differs from full decode", src.kind, z, y, x)
+					}
+					i++
+				}
+			}
+		}
+	}
+	for _, bad := range []string{"garbage", "0:5", "0:99,0:99,0:99"} {
+		resp, err := http.Post(ts.URL+"/v1/unpack?region="+bad,
+			"application/octet-stream", bytes.NewReader(indexed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("region %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
 func TestModelsEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t, nil)
 	f := testField(t)

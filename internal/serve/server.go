@@ -19,13 +19,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	fxrz "github.com/fxrz-go/fxrz"
@@ -202,6 +203,35 @@ func errorStatus(err error) int {
 	}
 }
 
+// bufPool recycles the staging buffers of the byte-moving endpoints: request
+// bodies (pack, unpack) and the unpack response (staged so Content-Length can
+// be set before writing). Under steady load this removes one multi-megabyte
+// allocation per request on each side.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps the capacity a returned buffer may retain. A buffer grown
+// by one oversized request is dropped rather than pinned in the pool forever.
+const maxPooledBuf = 32 << 20
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBuf {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// readBody drains a request body into a pooled buffer. The returned bytes
+// alias the buffer — valid until putBuf.
+func readBody(r *http.Request, buf *bytes.Buffer) ([]byte, error) {
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return nil, asBodyError(err)
+	}
+	return buf.Bytes(), nil
+}
+
 // errBadRequest tags client-caused failures for errorStatus.
 var errBadRequest = errors.New("bad request")
 
@@ -345,7 +375,14 @@ func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fw = fw.WithParallelism(s.inner)
-	f, err := fieldio.Read(r.Body)
+	buf := getBuf()
+	defer putBuf(buf)
+	body, err := readBody(r, buf)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	f, err := fieldio.Read(bytes.NewReader(body))
 	if err != nil {
 		fail(w, asBodyError(err))
 		return
@@ -372,27 +409,50 @@ func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleUnpack answers POST /v1/unpack: the body is any stream a built-in
-// codec produced (the magic byte dispatches); the response is the
-// reconstructed field as an fxrzfield container.
+// codec produced (the magic byte dispatches — indexed containers included);
+// the response is the reconstructed field as an fxrzfield container. The
+// optional `region` query parameter ("lo0:hi0,lo1:hi1,...", half-open,
+// slowest dimension first) decodes only that subvolume; with an indexed
+// stream the work scales with the region, not the field.
 func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {
 	const ep = "unpack"
-	blob, err := io.ReadAll(r.Body)
+	buf := getBuf()
+	defer putBuf(buf)
+	blob, err := readBody(r, buf)
 	if err != nil {
-		fail(w, asBodyError(err))
+		fail(w, err)
 		return
 	}
 	if err := r.Context().Err(); err != nil {
 		fail(w, err)
 		return
 	}
-	f, err := fxrz.DecompressParallel(blob, s.inner)
+	var f *fxrz.Field
+	if region := r.URL.Query().Get("region"); region != "" {
+		lo, hi, perr := fxrz.ParseRegion(region)
+		if perr != nil {
+			fail(w, badRequestf("%v", perr))
+			return
+		}
+		obs.Inc("serve/unpack_region")
+		f, err = fxrz.DecompressRegionParallel(blob, lo, hi, s.inner)
+	} else {
+		f, err = fxrz.DecompressParallel(blob, s.inner)
+	}
 	if err != nil {
 		fail(w, badRequestf("%v", err))
 		return
 	}
 	obs.Add("serve/bytes/unpacked_out", int64(f.Bytes()))
+	out := getBuf()
+	defer putBuf(out)
+	if err := fieldio.Write(out, f); err != nil {
+		fail(w, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := fieldio.Write(w, f); err != nil {
+	w.Header().Set("Content-Length", strconv.Itoa(out.Len()))
+	if _, err := w.Write(out.Bytes()); err != nil {
 		// Headers are gone; all we can do is count it.
 		obs.Inc("serve/errors/unpack_write")
 	}

@@ -1,0 +1,306 @@
+package sz
+
+// Region-of-interest decode for the SZ codec.
+//
+// Lorenzo reconstruction is a prefix recurrence: every point predicts from
+// already-reconstructed neighbors, so decoding point p normally requires all
+// points before p. The region index breaks the recurrence at slab boundaries
+// along the slowest dimension by persisting, for each boundary, (a) the raw
+// escape-pool cursor at the boundary (varint delta-encoded) and (b) the
+// reconstructed hyperplane just before it — the predictor seed. A region
+// decode then entropy-decodes the (whole-stream) quantization codes, jumps to
+// the nearest boundary at or below the region, and reconstructs only rows
+// [slab start, hi[0]) instead of the entire field.
+//
+// Bit-identity: the slab kernel accumulates the same stencil terms in the
+// same subset-mask order as lorenzo.predict (which the specialized kernels
+// are already pinned to), the quantize arithmetic is decPoint's, and the seed
+// plane holds exactly the values a full decode would have produced — so the
+// restarted recurrence is the full recurrence.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/entropy"
+	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/obs"
+)
+
+// szIndexMaxSlabs caps the number of slabs: each boundary costs a full
+// hyperplane, so past a point more boundaries buy little skipping but a lot
+// of index.
+const szIndexMaxSlabs = 16
+
+// slabHeight picks the slab height T for a field of nz rows of planeSize
+// points each, keeping the seed planes within a budget proportional to the
+// blob. Returns 0 when no useful index fits (the decoder then reconstructs
+// from row 0, which is still correct).
+func slabHeight(nz, planeSize, blobLen int) int {
+	if nz < 2 {
+		return 0
+	}
+	planeBytes := 4*planeSize + 8
+	budget := blobLen / 8
+	if budget < 4096 {
+		budget = 4096
+	}
+	maxBoundaries := budget / planeBytes
+	if maxBoundaries < 1 {
+		return 0
+	}
+	nSlabs := maxBoundaries + 1
+	if nSlabs > nz {
+		nSlabs = nz
+	}
+	if nSlabs > szIndexMaxSlabs {
+		nSlabs = szIndexMaxSlabs
+	}
+	return (nz + nSlabs - 1) / nSlabs
+}
+
+// BuildRegionIndex decodes an sz blob once and returns its region index
+// payload:
+//
+//	uvarint T (slab height along dim 0; 0 = no index)
+//	uvarint nSlabs (= ceil(dims[0]/T))
+//	(nSlabs-1) × uvarint: escape count within each preceding slab (the raw
+//	    cursor at slab i's start is the sum of the first i counts)
+//	(nSlabs-1) × seed plane: 1 flag byte (0 raw | 1 entropy-compressed),
+//	    uvarint length, then the reconstructed float32 plane at row i·T-1
+func BuildRegionIndex(blob []byte) ([]byte, error) {
+	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
+	if err != nil {
+		return nil, fmt.Errorf("sz: %w", err)
+	}
+	codeBytes, _, _, err := parseSZSections(h.Dims, payload)
+	if err != nil {
+		return nil, err
+	}
+	nz := h.Dims[0]
+	planeSize := elemCount(h.Dims) / nz
+	T := slabHeight(nz, planeSize, len(blob))
+	out := binary.AppendUvarint(nil, uint64(T))
+	if T == 0 {
+		return out, nil
+	}
+	rec, err := decompressSZ(blob, false, 1)
+	if err != nil {
+		return nil, err
+	}
+	nSlabs := (nz + T - 1) / T
+	out = binary.AppendUvarint(out, uint64(nSlabs))
+	for i := 1; i < nSlabs; i++ {
+		cnt := 0
+		for p := (i - 1) * T * planeSize; p < i*T*planeSize; p++ {
+			if binary.LittleEndian.Uint16(codeBytes[2*p:]) == 0 {
+				cnt++
+			}
+		}
+		out = binary.AppendUvarint(out, uint64(cnt))
+	}
+	rawPlane := make([]byte, 4*planeSize)
+	for i := 1; i < nSlabs; i++ {
+		plane := rec.Data[(i*T-1)*planeSize : i*T*planeSize]
+		for j, v := range plane {
+			binary.LittleEndian.PutUint32(rawPlane[4*j:], math.Float32bits(v))
+		}
+		comp, cerr := entropy.CompressBytes(rawPlane)
+		if cerr == nil && len(comp) < len(rawPlane) {
+			out = append(out, 1)
+			out = binary.AppendUvarint(out, uint64(len(comp)))
+			out = append(out, comp...)
+		} else {
+			out = append(out, 0)
+			out = binary.AppendUvarint(out, uint64(len(rawPlane)))
+			out = append(out, rawPlane...)
+		}
+	}
+	return out, nil
+}
+
+// szIndex is a parsed region index.
+type szIndex struct {
+	T      int
+	cumEsc []int // cumEsc[i] = escapes before slab i's first point
+	flags  []byte
+	seeds  [][]byte // per boundary, the encoded seed plane bytes
+}
+
+// parseSZIndex validates an index payload; it returns nil (no error) for a
+// well-formed empty index.
+func parseSZIndex(index []byte, dims []int, n int) (*szIndex, error) {
+	t, k := binary.Uvarint(index)
+	if k <= 0 {
+		return nil, fmt.Errorf("sz: %w: index slab height", compress.ErrCorrupt)
+	}
+	rest := index[k:]
+	if t == 0 {
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("sz: %w: index trailer", compress.ErrCorrupt)
+		}
+		return nil, nil
+	}
+	nz := dims[0]
+	if t > uint64(nz) {
+		return nil, fmt.Errorf("sz: %w: slab height %d for %d rows", compress.ErrCorrupt, t, nz)
+	}
+	T := int(t)
+	nSlabs, k := binary.Uvarint(rest)
+	if k <= 0 || nSlabs != uint64((nz+T-1)/T) || nSlabs < 2 {
+		return nil, fmt.Errorf("sz: %w: index slab count", compress.ErrCorrupt)
+	}
+	rest = rest[k:]
+	si := &szIndex{T: T, cumEsc: make([]int, nSlabs)}
+	for i := 1; i < int(nSlabs); i++ {
+		d, k := binary.Uvarint(rest)
+		if k <= 0 || d > uint64(n) {
+			return nil, fmt.Errorf("sz: %w: index escape count", compress.ErrCorrupt)
+		}
+		rest = rest[k:]
+		si.cumEsc[i] = si.cumEsc[i-1] + int(d)
+		if si.cumEsc[i] < 0 || si.cumEsc[i] > n {
+			return nil, fmt.Errorf("sz: %w: index escape cursor", compress.ErrCorrupt)
+		}
+	}
+	for i := 1; i < int(nSlabs); i++ {
+		if len(rest) < 1 || rest[0] > 1 {
+			return nil, fmt.Errorf("sz: %w: seed flag", compress.ErrCorrupt)
+		}
+		flag := rest[0]
+		rest = rest[1:]
+		ln, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < ln {
+			return nil, fmt.Errorf("sz: %w: seed plane %d", compress.ErrCorrupt, i)
+		}
+		rest = rest[k:]
+		si.flags = append(si.flags, flag)
+		si.seeds = append(si.seeds, rest[:ln])
+		rest = rest[ln:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("sz: %w: index trailer", compress.ErrCorrupt)
+	}
+	return si, nil
+}
+
+// seedPlane returns the raw little-endian float32 bytes of the seed plane at
+// row s*T-1 (the boundary entering slab s >= 1).
+func (si *szIndex) seedPlane(s, planeSize int) ([]byte, error) {
+	data := si.seeds[s-1]
+	if si.flags[s-1] == 1 {
+		var err error
+		data, err = entropy.DecompressBytes(data)
+		if err != nil {
+			return nil, fmt.Errorf("sz: seed plane: %w", err)
+		}
+	}
+	if len(data) != 4*planeSize {
+		return nil, fmt.Errorf("sz: %w: seed plane is %d bytes, want %d", compress.ErrCorrupt, len(data), 4*planeSize)
+	}
+	return data, nil
+}
+
+// DecompressRegion decodes the half-open region [lo, hi) of an sz blob,
+// reconstructing only rows [slab(lo[0]), hi[0]) of the Lorenzo recurrence.
+// index may be nil or empty; reconstruction then restarts at row 0, which
+// still skips the rows past hi[0]. The output is bit-identical to the
+// corresponding slice of a full Decompress.
+func DecompressRegion(blob, index []byte, lo, hi []int) (*grid.Field, error) {
+	defer obs.Span("decompress/sz-region")()
+	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
+	if err != nil {
+		return nil, fmt.Errorf("sz: %w", err)
+	}
+	if err := grid.CheckRegion(h.Dims, lo, hi); err != nil {
+		return nil, fmt.Errorf("sz: %w", err)
+	}
+	codeBytes, rawPayload, nraw, err := parseSZSections(h.Dims, payload)
+	if err != nil {
+		return nil, err
+	}
+	n := elemCount(h.Dims)
+	nz := h.Dims[0]
+	planeSize := n / nz
+
+	z0, rawPos := 0, 0
+	var seed []byte
+	if len(index) > 0 {
+		si, err := parseSZIndex(index, h.Dims, n)
+		if err != nil {
+			return nil, err
+		}
+		if si != nil {
+			if s0 := lo[0] / si.T; s0 > 0 {
+				z0 = s0 * si.T
+				rawPos = si.cumEsc[s0]
+				if seed, err = si.seedPlane(s0, planeSize); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if uint64(rawPos) > nraw {
+		return nil, fmt.Errorf("sz: %w: index raw cursor", compress.ErrCorrupt)
+	}
+	seedRows := 0
+	if z0 > 0 {
+		seedRows = 1
+	}
+	rows := hi[0] - z0 + seedRows
+	buf := getF32s(rows * planeSize)
+	defer putF32s(buf)
+	for j := 0; j < seedRows*planeSize; j++ {
+		buf[j] = math.Float32frombits(binary.LittleEndian.Uint32(seed[4*j:]))
+	}
+	if err := reconstructSlab(buf, h.Dims, z0, seedRows, h.Knob, codeBytes, rawPayload, nraw, rawPos); err != nil {
+		return nil, err
+	}
+	obs.Inc("sz/region_decodes")
+	obs.Add("sz/region_rows_decoded", int64(hi[0]-z0))
+	obs.Add("sz/region_rows_skipped", int64(z0+nz-hi[0]))
+
+	bufDims := append([]int{rows}, h.Dims[1:]...)
+	view, err := grid.FromData(h.Name, buf, bufDims...)
+	if err != nil {
+		return nil, fmt.Errorf("sz: %w", err)
+	}
+	vlo := append([]int{lo[0] - z0 + seedRows}, lo[1:]...)
+	vhi := append([]int{hi[0] - z0 + seedRows}, hi[1:]...)
+	return grid.SliceRegion(view, vlo, vhi)
+}
+
+// reconstructSlab runs the Lorenzo reconstruction over global rows
+// [z0, z0+rows) into buf, whose first seedRows planes hold the already
+// reconstructed boundary hyperplane. The predictor is the generic mask-order
+// accumulation of lorenzo.predict — the oracle the specialized full-decode
+// kernels are pinned to — and the quantize/escape arithmetic mirrors
+// decPoint, so restarted output is bit-identical to a full decode.
+func reconstructSlab(buf []float32, dims []int, z0, seedRows int, eb float64, codeBytes, rawPayload []byte, nraw uint64, rawPos int) error {
+	twoEB := 2 * eb
+	planeSize := 1
+	for _, d := range dims[1:] {
+		planeSize *= d
+	}
+	lor := newLorenzo(dims)
+	lor.coord[0] = z0
+	gidx := z0 * planeSize
+	for lidx := seedRows * planeSize; lidx < len(buf); lidx++ {
+		pred := lor.predict(buf, lidx)
+		code := binary.LittleEndian.Uint16(codeBytes[2*gidx:])
+		if code != 0 {
+			buf[lidx] = float32(pred + twoEB*float64(int(code)-radius))
+		} else {
+			if uint64(rawPos) >= nraw {
+				return errRawExhausted()
+			}
+			buf[lidx] = math.Float32frombits(binary.LittleEndian.Uint32(rawPayload[4*rawPos:]))
+			rawPos++
+		}
+		lor.advance()
+		gidx++
+	}
+	return nil
+}

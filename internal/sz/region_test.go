@@ -1,0 +1,144 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+func regionTestField(t testing.TB, escapes bool, dims ...int) *grid.Field {
+	t.Helper()
+	f := grid.MustNew("roi", dims...)
+	rng := rand.New(rand.NewSource(31))
+	for i := range f.Data {
+		f.Data[i] = float32(math.Sin(float64(i)*0.07)) + 0.2*rng.Float32()
+		if escapes {
+			switch i % 97 {
+			case 0:
+				f.Data[i] = float32(math.NaN())
+			case 13:
+				f.Data[i] = float32(math.Inf(1))
+			case 31:
+				f.Data[i] = 1e30 * rng.Float32() // forces raw escapes
+			}
+		}
+	}
+	return f
+}
+
+func TestSZDecompressRegionMatchesFullDecode(t *testing.T) {
+	shapes := [][]int{{53}, {17, 21}, {12, 10, 11}, {4, 5, 6, 7}}
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range shapes {
+		for _, escapes := range []bool{false, true} {
+			f := regionTestField(t, escapes, dims...)
+			blob, err := New().Compress(f, 1e-3)
+			if err != nil {
+				t.Fatalf("%v escapes=%v: compress: %v", dims, escapes, err)
+			}
+			full, err := New().Decompress(blob)
+			if err != nil {
+				t.Fatalf("%v escapes=%v: decompress: %v", dims, escapes, err)
+			}
+			index, err := BuildRegionIndex(blob)
+			if err != nil {
+				t.Fatalf("%v escapes=%v: index: %v", dims, escapes, err)
+			}
+			nd := len(dims)
+			lo, hi := make([]int, nd), make([]int, nd)
+			for trial := 0; trial < 25; trial++ {
+				for d := 0; d < nd; d++ {
+					lo[d] = rng.Intn(dims[d])
+					hi[d] = lo[d] + 1 + rng.Intn(dims[d]-lo[d])
+				}
+				if trial == 0 {
+					for d := 0; d < nd; d++ {
+						lo[d], hi[d] = 0, dims[d]
+					}
+				}
+				want, err := grid.SliceRegion(full, lo, hi)
+				if err != nil {
+					t.Fatalf("slice: %v", err)
+				}
+				for _, idx := range [][]byte{index, nil} {
+					got, err := DecompressRegion(blob, idx, lo, hi)
+					if err != nil {
+						t.Fatalf("%v escapes=%v region %v:%v (index=%v): %v", dims, escapes, lo, hi, idx != nil, err)
+					}
+					for i := range want.Data {
+						if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+							t.Fatalf("%v escapes=%v region %v:%v (index=%v): sample %d: %x != %x",
+								dims, escapes, lo, hi, idx != nil, i,
+								math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSZRegionIndexCorruptRejected(t *testing.T) {
+	f := regionTestField(t, true, 12, 10, 11)
+	blob, err := New().Compress(f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := BuildRegionIndex(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(index) < 3 {
+		t.Skipf("index too small to corrupt (%d bytes)", len(index))
+	}
+	lo, hi := []int{8, 2, 2}, []int{12, 6, 6}
+	if _, err := DecompressRegion(blob, index[:len(index)-1], lo, hi); err == nil {
+		t.Error("truncated index accepted")
+	}
+	if _, err := DecompressRegion(blob, append(append([]byte(nil), index...), 0x7), lo, hi); err == nil {
+		t.Error("index with trailer accepted")
+	}
+}
+
+// TestSZRegionSkipsPrefix pins that an indexed region decode near the end of
+// the field does not reconstruct the whole prefix (the point of the index).
+func TestSZRegionSkipsPrefix(t *testing.T) {
+	f := regionTestField(t, false, 64, 16, 16)
+	blob, err := New().Compress(f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := BuildRegionIndex(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := parseSZIndex(index, f.Dims, f.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si == nil {
+		t.Fatal("no slab index built for a 64-row field")
+	}
+	if si.T >= 64 {
+		t.Fatalf("slab height %d does not partition 64 rows", si.T)
+	}
+	got, err := DecompressRegion(blob, index, []int{60, 0, 0}, []int{64, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New().Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := grid.SliceRegion(full, []int{60, 0, 0}, []int{64, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}

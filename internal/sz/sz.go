@@ -114,6 +114,35 @@ func (c *Compressor) Decompress(blob []byte) (*grid.Field, error) {
 	return decompressSZ(blob, false, pool.Workers(c.Workers))
 }
 
+// parseSZSections splits an sz payload (everything after the common header)
+// into its entropy-decoded quantization codes and the raw escape pool, with
+// all the corruption checks Decompress performs. Shared by the full decoder,
+// the region decoder, and the region index builder so the three agree on the
+// container layout.
+func parseSZSections(dims []int, payload []byte) (codeBytes, rawPayload []byte, nraw uint64, err error) {
+	if _, err := compress.CheckElems(dims, len(payload)); err != nil {
+		return nil, nil, 0, fmt.Errorf("sz: %w", err)
+	}
+	pcLen, k := binary.Uvarint(payload)
+	if k <= 0 || uint64(len(payload)-k) < pcLen {
+		return nil, nil, 0, fmt.Errorf("sz: %w: code section", compress.ErrCorrupt)
+	}
+	payload = payload[k:]
+	codeBytes, err = entropy.DecompressBytes(payload[:pcLen])
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("sz: decode codes: %w", err)
+	}
+	payload = payload[pcLen:]
+	nraw, k = binary.Uvarint(payload)
+	if k <= 0 || uint64(len(payload)-k) < 4*nraw {
+		return nil, nil, 0, fmt.Errorf("sz: %w: raw section", compress.ErrCorrupt)
+	}
+	if len(codeBytes) != 2*elemCount(dims) {
+		return nil, nil, 0, fmt.Errorf("sz: %w: %d code bytes for %d points", compress.ErrCorrupt, len(codeBytes), elemCount(dims))
+	}
+	return codeBytes, payload[k:], nraw, nil
+}
+
 // decompressSZ is the Decompress implementation; forceGeneric pins the
 // reconstruction pass to the N-d odometer oracle (see compressSZ).
 func decompressSZ(blob []byte, forceGeneric bool, workers int) (*grid.Field, error) {
@@ -122,32 +151,13 @@ func decompressSZ(blob []byte, forceGeneric bool, workers int) (*grid.Field, err
 	if err != nil {
 		return nil, fmt.Errorf("sz: %w", err)
 	}
-	if _, err := compress.CheckElems(h.Dims, len(payload)); err != nil {
-		return nil, fmt.Errorf("sz: %w", err)
-	}
-	pcLen, k := binary.Uvarint(payload)
-	if k <= 0 || uint64(len(payload)-k) < pcLen {
-		return nil, fmt.Errorf("sz: %w: code section", compress.ErrCorrupt)
-	}
-	payload = payload[k:]
-	codeBytes, err := entropy.DecompressBytes(payload[:pcLen])
+	codeBytes, payload, nraw, err := parseSZSections(h.Dims, payload)
 	if err != nil {
-		return nil, fmt.Errorf("sz: decode codes: %w", err)
+		return nil, err
 	}
-	payload = payload[pcLen:]
-	nraw, k := binary.Uvarint(payload)
-	if k <= 0 || uint64(len(payload)-k) < 4*nraw {
-		return nil, fmt.Errorf("sz: %w: raw section", compress.ErrCorrupt)
-	}
-	payload = payload[k:]
-
 	f, err := grid.New(h.Name, h.Dims...)
 	if err != nil {
 		return nil, fmt.Errorf("sz: %w", err)
-	}
-	n := f.Size()
-	if len(codeBytes) != 2*n {
-		return nil, fmt.Errorf("sz: %w: %d code bytes for %d points", compress.ErrCorrupt, len(codeBytes), n)
 	}
 	handled := false
 	if !forceGeneric {

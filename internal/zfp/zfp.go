@@ -271,6 +271,15 @@ func encodeBody(f *grid.Field, minexp, maxbits, workers int) ([]byte, error) {
 // encodeBlock (including the fixed-rate pad skip). Like encodeBlock it is
 // shared by the serial and parallel paths.
 func decodeBlock(r *entropy.BitReader, folded *grid.Field, origin []int, s *blockScratch, minexp, maxbits, nd int, perm []int) {
+	decodeBlockVals(r, s, minexp, maxbits, nd, perm)
+	scatterClipped(folded, origin, s.vals)
+}
+
+// decodeBlockVals decodes one 4^d block from r into s.vals without scattering
+// it anywhere, consuming exactly the bits the block occupies (including the
+// fixed-rate pad). The region decoder uses it directly so a block can be
+// scattered into a region-shaped destination instead of the full field.
+func decodeBlockVals(r *entropy.BitReader, s *blockScratch, minexp, maxbits, nd int, perm []int) {
 	vals, q, ub := s.vals, s.q, s.ub
 	used := 1
 	nonzero := r.TryReadBit()
@@ -310,7 +319,6 @@ func decodeBlock(r *entropy.BitReader, folded *grid.Field, origin []int, s *bloc
 			r.TryReadBits(uint(n))
 		}
 	}
-	scatterClipped(folded, origin, vals)
 }
 
 // decodeBody reconstructs the field body written by encodeBody. With
