@@ -4,7 +4,7 @@
 # The CI workflow (.github/workflows/ci.yml) runs lint, verify, verify-race,
 # cover and the bench-smoke/benchguard pair on every push and pull request.
 
-.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-roi bench-smoke benchguard fuzz-smoke
+.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-roi bench-load bench-smoke benchguard fuzz-smoke
 
 verify:
 	go build ./... && go test ./...
@@ -85,6 +85,23 @@ bench-smoke:
 	go test -run '^$$' -bench BenchmarkServe -benchtime 1x ./internal/serve/
 	go test -run '^$$' -bench BenchmarkRegionDecode -benchtime 1x .
 
+# Re-record the BENCH_load.json mixed-load baseline and gate it: fxrzload
+# trains a small model, serves it in-process (fxrzd's real handler), drives
+# the 90:5:5 estimate/unpack/pack mix for LOADTIME, and writes the summary
+# with the p99 and shed caps baked in; benchguard then validates the file
+# (counts consistent, percentiles monotone, p99s under their caps, shed rate
+# under its cap). Run this (and commit the JSON) after touching the serving
+# or admission paths. Absolute latencies are machine-bound — re-record rather
+# than compare across boxes.
+LOADTIME ?= 10s
+bench-load:
+	go run ./cmd/fxrzload -selfserve -duration $(LOADTIME) -concurrency 8 \
+		-max-inflight 8 -seed 1 -shed-cap 0.25 \
+		-p99-caps "estimate=40,unpack=60,pack=80" \
+		-note "recorded via 'make bench-load' (fxrzload -selfserve) on the PR container" \
+		-out BENCH_load.json
+	go run ./cmd/benchguard BENCH_load.json
+
 # Short fuzzing burst over every Fuzz* target, starting from the committed
 # seed corpora (regenerate seeds with `go run ./cmd/genfixtures`). Each
 # target runs for FUZZTIME (default 20s); a crasher fails the run and leaves
@@ -102,4 +119,4 @@ fuzz-smoke:
 # Validate the recorded baseline files stay machine-readable and keep their
 # speedup floors.
 benchguard:
-	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json BENCH_roi.json
+	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json BENCH_roi.json BENCH_load.json

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fullLoad builds a valid load baseline, optionally mutated, as JSON. The
+// fixture's arithmetic is exactly consistent (totals = endpoint sums,
+// shed_frac = shed/requests) so each mutation isolates one rule.
+func fullLoad(t *testing.T, mutate func(b *loadBaseline)) string {
+	t.Helper()
+	b := loadBaseline{
+		Benchmark: "fxrzd mixed-load harness (fxrzload)",
+		Date:      "2026-08-08",
+		Runner:    compressRunner{CPU: "test-cpu", Cores: 8},
+		Load: loadSummary{
+			Concurrency: 8,
+			DurationS:   10,
+			Mix:         "90:5:5",
+			RegionFrac:  0.25,
+			Requests:    1000,
+			OK:          950,
+			Shed:        50,
+			Errors:      0,
+			ShedFrac:    0.05,
+			ShedCap:     0.25,
+			RPS:         100,
+		},
+		Endpoints: []loadEntry{
+			{Name: "estimate", Requests: 900, OK: 880, Shed: 20, P50MS: 1, P90MS: 2, P99MS: 4, MaxMS: 9, P99CapMS: 40},
+			{Name: "unpack", Requests: 50, OK: 40, Shed: 10, P50MS: 2, P90MS: 4, P99MS: 8, MaxMS: 15, P99CapMS: 60},
+			{Name: "pack", Requests: 50, OK: 30, Shed: 20, P50MS: 3, P90MS: 6, P99MS: 10, MaxMS: 20, P99CapMS: 80},
+		},
+	}
+	if mutate != nil {
+		mutate(&b)
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestValidateLoadAccepts(t *testing.T) {
+	if err := validate([]byte(fullLoad(t, nil))); err != nil {
+		t.Fatalf("valid load baseline rejected: %v", err)
+	}
+	// Caps are optional: a baseline recorded without gates still validates.
+	uncapped := fullLoad(t, func(b *loadBaseline) {
+		b.Load.ShedCap = 0
+		for i := range b.Endpoints {
+			b.Endpoints[i].P99CapMS = 0
+		}
+	})
+	if err := validate([]byte(uncapped)); err != nil {
+		t.Fatalf("uncapped load baseline rejected: %v", err)
+	}
+	// A small recorder passes when it carries the qualifying note.
+	small := fullLoad(t, func(b *loadBaseline) {
+		b.Runner.Cores = 1
+		b.Runner.Note = "1-core container: absolute latencies indicative only"
+	})
+	if err := validate([]byte(small)); err != nil {
+		t.Fatalf("noted 1-core load baseline rejected: %v", err)
+	}
+}
+
+// TestValidateLoadDispatch: a load baseline also carries "endpoints", so the
+// probe must route it to the load validator, not the serve one (whose schema
+// would reject these entries for missing bench/overhead fields).
+func TestValidateLoadDispatch(t *testing.T) {
+	err := validate([]byte(fullLoad(t, func(b *loadBaseline) { b.Load.Requests = 999 })))
+	if err == nil || !strings.Contains(err.Error(), "load totals inconsistent") {
+		t.Fatalf("err = %v, want a load-schema error (dispatch went elsewhere?)", err)
+	}
+}
+
+func TestValidateLoadRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(b *loadBaseline)
+		wantErr string
+	}{
+		{"no benchmark", func(b *loadBaseline) { b.Benchmark = "" }, `missing required field "benchmark"`},
+		{"bad date", func(b *loadBaseline) { b.Date = "08/08/2026" }, "not YYYY-MM-DD"},
+		{"zero cores", func(b *loadBaseline) { b.Runner.Cores = 0 }, "runner.cores must be > 0"},
+		{"small runner, no note", func(b *loadBaseline) { b.Runner.Cores = 2; b.Runner.Note = "" }, "runner.note"},
+		{"zero concurrency", func(b *loadBaseline) { b.Load.Concurrency = 0 }, "concurrency must be > 0"},
+		{"zero duration", func(b *loadBaseline) { b.Load.DurationS = 0 }, "duration_s must be > 0"},
+		{"no mix", func(b *loadBaseline) { b.Load.Mix = "" }, `missing required field "load.mix"`},
+		{"bad region frac", func(b *loadBaseline) { b.Load.RegionFrac = 1.5 }, "region_frac must be in [0, 1]"},
+		{"no requests", func(b *loadBaseline) {
+			b.Load.Requests, b.Load.OK, b.Load.Shed = 0, 0, 0
+			b.Load.ShedFrac = 0
+		}, "requests must be > 0"},
+		{"no successes", func(b *loadBaseline) {
+			b.Load.OK = 0
+			b.Load.Shed = 1000
+			b.Load.ShedFrac = 1
+		}, "ok must be > 0"},
+		{"errors present", func(b *loadBaseline) { b.Load.Errors = 3 }, "a clean baseline has none"},
+		{"totals inconsistent", func(b *loadBaseline) { b.Load.OK = 949 }, "load totals inconsistent"},
+		{"shed frac wrong", func(b *loadBaseline) { b.Load.ShedFrac = 0.5 }, "shed_frac"},
+		{"shed cap out of range", func(b *loadBaseline) { b.Load.ShedCap = 2 }, "shed_cap must be in [0, 1]"},
+		{"shed over cap", func(b *loadBaseline) { b.Load.ShedCap = 0.01 }, "exceeds the recorded 0.01 cap"},
+		{"zero rps", func(b *loadBaseline) { b.Load.RPS = 0 }, "rps must be > 0"},
+		{"unnamed endpoint", func(b *loadBaseline) { b.Endpoints[0].Name = "" }, "missing name"},
+		{"duplicate endpoint", func(b *loadBaseline) { b.Endpoints[1] = b.Endpoints[0] }, "duplicate entry"},
+		{"endpoint counts inconsistent", func(b *loadBaseline) { b.Endpoints[0].Shed = 21 }, "counts inconsistent"},
+		{"endpoint without successes", func(b *loadBaseline) {
+			b.Endpoints[2].OK = 0
+			b.Endpoints[2].Shed = 50
+			b.Load.OK -= 30
+			b.Load.Shed += 30
+			b.Load.ShedFrac = 0.08
+		}, "percentiles are fiction"},
+		{"zero p50", func(b *loadBaseline) { b.Endpoints[0].P50MS = 0 }, "p50 <= p90 <= p99 <= max"},
+		{"non-monotone percentiles", func(b *loadBaseline) { b.Endpoints[0].P99MS = 1.5 }, "p50 <= p90 <= p99 <= max"},
+		{"negative p99 cap", func(b *loadBaseline) { b.Endpoints[0].P99CapMS = -1 }, "p99_cap_ms must be >= 0"},
+		{"p99 over cap", func(b *loadBaseline) { b.Endpoints[0].P99CapMS = 3 }, "exceeds the recorded 3.00ms cap"},
+		{"endpoint sums drift", func(b *loadBaseline) {
+			b.Endpoints[0].Requests += 10
+			b.Endpoints[0].OK += 10
+		}, "do not add up to the load totals"},
+		{"missing required endpoint", func(b *loadBaseline) {
+			b.Endpoints[2].Name = "repack"
+		}, `missing required endpoint "pack"`},
+	}
+	for _, tc := range cases {
+		err := validate([]byte(fullLoad(t, tc.mutate)))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestUnknownSchemaListsKnownShapes pins the satellite requirement: the
+// unrecognized-file error must name every schema benchguard knows, so a
+// misspelled baseline tells the author what would have matched.
+func TestUnknownSchemaListsKnownShapes(t *testing.T) {
+	err := validate([]byte(`{"benchmark":"B","date":"2026-08-08","latencies":[]}`))
+	if err == nil {
+		t.Fatal("schema-less baseline accepted")
+	}
+	for _, key := range []string{"results", "kernels", "codecs", "endpoints", "regions", "load"} {
+		if !strings.Contains(err.Error(), `"`+key+`"`) {
+			t.Errorf("unknown-schema error does not mention %q:\n%v", key, err)
+		}
+	}
+	for _, file := range []string{"BENCH_train.json", "BENCH_kernels.json", "BENCH_compress.json",
+		"BENCH_serve.json", "BENCH_roi.json", "BENCH_load.json"} {
+		if !strings.Contains(err.Error(), file) {
+			t.Errorf("unknown-schema error does not mention %s:\n%v", file, err)
+		}
+	}
+}

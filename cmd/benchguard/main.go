@@ -193,7 +193,21 @@ const minSpeedup = 0.9
 // requiredKernels is the fixed roster a kernel baseline must cover.
 var requiredKernels = []string{"sz_quantize_3d", "zfp_encode_ints", "huffman_decode", "ca_scan"}
 
+// knownSchemas names every baseline shape benchguard validates, keyed by the
+// top-level field whose presence selects it. The unknown-schema error prints
+// this so a misspelled or half-written baseline says what would have matched.
+var knownSchemas = []struct{ key, desc string }{
+	{"load", "fxrzload mixed-load baseline (BENCH_load.json)"},
+	{"regions", "region-decode baseline (BENCH_roi.json)"},
+	{"endpoints", "serving-overhead baseline (BENCH_serve.json)"},
+	{"codecs", "parallel-compress baseline (BENCH_compress.json)"},
+	{"kernels", "kernel fast-path baseline (BENCH_kernels.json)"},
+	{"results", "training-sweep baseline (BENCH_train.json)"},
+}
+
 // validate checks one recorded baseline blob, dispatching on its schema.
+// A load baseline also carries an "endpoints" array, so "load" is probed
+// first.
 func validate(raw []byte) error {
 	var probe struct {
 		Results   []json.RawMessage `json:"results"`
@@ -201,11 +215,14 @@ func validate(raw []byte) error {
 		Codecs    []json.RawMessage `json:"codecs"`
 		Endpoints []json.RawMessage `json:"endpoints"`
 		Regions   []json.RawMessage `json:"regions"`
+		Load      json.RawMessage   `json:"load"`
 	}
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		return fmt.Errorf("not valid JSON: %w", err)
 	}
 	switch {
+	case probe.Load != nil:
+		return validateLoad(raw)
 	case probe.Regions != nil:
 		return validateRoi(raw)
 	case probe.Endpoints != nil:
@@ -217,9 +234,158 @@ func validate(raw []byte) error {
 	case probe.Results != nil:
 		return validateTrain(raw)
 	default:
-		return fmt.Errorf("unrecognized schema: none of %q, %q, %q, %q, %q present",
-			"results", "kernels", "codecs", "endpoints", "regions")
+		var sb strings.Builder
+		sb.WriteString("unknown schema: no recognized top-level field present; known schemas are")
+		for _, s := range knownSchemas {
+			fmt.Fprintf(&sb, "\n  %q -> %s", s.key, s.desc)
+		}
+		return fmt.Errorf("%s", sb.String())
 	}
+}
+
+// loadBaseline mirrors the schema of BENCH_load.json, recorded by
+// cmd/fxrzload: a mixed estimate/unpack/pack workload's totals plus
+// per-endpoint latency percentiles. The p99 caps and the shed cap are
+// recorded into the file by the run that measured it, so the gate travels
+// with the measurement; like the compress baseline, a small recorder
+// (< multiCoreMin cores) must carry an explanatory runner.note because
+// absolute latencies there are indicative only.
+type loadBaseline struct {
+	Benchmark string         `json:"benchmark"`
+	Date      string         `json:"date"`
+	Runner    compressRunner `json:"runner"`
+	Load      loadSummary    `json:"load"`
+	Endpoints []loadEntry    `json:"endpoints"`
+}
+
+type loadSummary struct {
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	Mix         string  `json:"mix"`
+	RegionFrac  float64 `json:"region_frac"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Errors      int     `json:"errors"`
+	ShedFrac    float64 `json:"shed_frac"`
+	ShedCap     float64 `json:"shed_cap"`
+	RPS         float64 `json:"rps"`
+}
+
+type loadEntry struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Errors   int     `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	P99CapMS float64 `json:"p99_cap_ms"`
+}
+
+// requiredLoadEndpoints is the roster a load baseline must cover — the full
+// mix, or the QoS interaction between the classes went unmeasured.
+var requiredLoadEndpoints = []string{"estimate", "unpack", "pack"}
+
+func validateLoad(raw []byte) error {
+	var b loadBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if err := validateCommon(b.Benchmark, b.Date); err != nil {
+		return err
+	}
+	if b.Runner.Cores <= 0 {
+		return fmt.Errorf("runner.cores must be > 0, got %d", b.Runner.Cores)
+	}
+	if b.Runner.Cores < multiCoreMin && b.Runner.Note == "" {
+		return fmt.Errorf("runner has %d cores (< %d): a runner.note qualifying the latency percentiles is required",
+			b.Runner.Cores, multiCoreMin)
+	}
+	l := b.Load
+	if l.Concurrency <= 0 {
+		return fmt.Errorf("load.concurrency must be > 0, got %d", l.Concurrency)
+	}
+	if !(l.DurationS > 0) {
+		return fmt.Errorf("load.duration_s must be > 0, got %v", l.DurationS)
+	}
+	if l.Mix == "" {
+		return fmt.Errorf("missing required field %q", "load.mix")
+	}
+	if l.RegionFrac < 0 || l.RegionFrac > 1 {
+		return fmt.Errorf("load.region_frac must be in [0, 1], got %v", l.RegionFrac)
+	}
+	if l.Requests <= 0 {
+		return fmt.Errorf("load.requests must be > 0, got %d", l.Requests)
+	}
+	if l.OK <= 0 {
+		return fmt.Errorf("load.ok must be > 0: a baseline with no successful request measured nothing")
+	}
+	if l.Errors != 0 {
+		return fmt.Errorf("load.errors = %d: a clean baseline has none (shed 429s are counted separately)", l.Errors)
+	}
+	if l.Requests != l.OK+l.Shed+l.Errors {
+		return fmt.Errorf("load totals inconsistent: requests %d != ok %d + shed %d + errors %d",
+			l.Requests, l.OK, l.Shed, l.Errors)
+	}
+	if frac := float64(l.Shed) / float64(l.Requests); l.ShedFrac < frac-0.001 || l.ShedFrac > frac+0.001 {
+		return fmt.Errorf("load.shed_frac %.4f inconsistent with shed/requests %.4f", l.ShedFrac, frac)
+	}
+	if l.ShedCap < 0 || l.ShedCap > 1 {
+		return fmt.Errorf("load.shed_cap must be in [0, 1], got %v", l.ShedCap)
+	}
+	if l.ShedCap > 0 && l.ShedFrac > l.ShedCap {
+		return fmt.Errorf("shed fraction %.4f exceeds the recorded %.2f cap", l.ShedFrac, l.ShedCap)
+	}
+	if !(l.RPS > 0) {
+		return fmt.Errorf("load.rps must be > 0, got %v", l.RPS)
+	}
+	seen := make(map[string]bool, len(b.Endpoints))
+	var sumReq, sumOK, sumShed, sumErr int
+	for i, e := range b.Endpoints {
+		if e.Name == "" {
+			return fmt.Errorf("endpoints[%d]: missing name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("endpoints[%d]: duplicate entry for %q", i, e.Name)
+		}
+		seen[e.Name] = true
+		if e.Requests != e.OK+e.Shed+e.Errors {
+			return fmt.Errorf("endpoints[%d] (%s): counts inconsistent: requests %d != ok %d + shed %d + errors %d",
+				i, e.Name, e.Requests, e.OK, e.Shed, e.Errors)
+		}
+		if e.OK <= 0 {
+			return fmt.Errorf("endpoints[%d] (%s): ok must be > 0 — no successful request, so its percentiles are fiction",
+				i, e.Name)
+		}
+		sumReq += e.Requests
+		sumOK += e.OK
+		sumShed += e.Shed
+		sumErr += e.Errors
+		if !(e.P50MS > 0) || e.P50MS > e.P90MS || e.P90MS > e.P99MS || e.P99MS > e.MaxMS {
+			return fmt.Errorf("endpoints[%d] (%s): percentiles must satisfy 0 < p50 <= p90 <= p99 <= max, got %v/%v/%v/%v",
+				i, e.Name, e.P50MS, e.P90MS, e.P99MS, e.MaxMS)
+		}
+		if e.P99CapMS < 0 {
+			return fmt.Errorf("endpoints[%d] (%s): p99_cap_ms must be >= 0, got %v", i, e.Name, e.P99CapMS)
+		}
+		if e.P99CapMS > 0 && e.P99MS > e.P99CapMS {
+			return fmt.Errorf("endpoints[%d] (%s): p99 %.2fms exceeds the recorded %.2fms cap",
+				i, e.Name, e.P99MS, e.P99CapMS)
+		}
+	}
+	if sumReq != l.Requests || sumOK != l.OK || sumShed != l.Shed || sumErr != l.Errors {
+		return fmt.Errorf("endpoint sums (%d/%d/%d/%d req/ok/shed/err) do not add up to the load totals (%d/%d/%d/%d)",
+			sumReq, sumOK, sumShed, sumErr, l.Requests, l.OK, l.Shed, l.Errors)
+	}
+	for _, name := range requiredLoadEndpoints {
+		if !seen[name] {
+			return fmt.Errorf("missing required endpoint %q", name)
+		}
+	}
+	return nil
 }
 
 func validateRoi(raw []byte) error {

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRecordedBaselinesAreValid(t *testing.T) {
-	for _, file := range []string{"../../BENCH_train.json", "../../BENCH_kernels.json"} {
+	for _, file := range []string{"../../BENCH_train.json", "../../BENCH_kernels.json", "../../BENCH_load.json"} {
 		raw, err := os.ReadFile(file)
 		if err != nil {
 			t.Fatal(err)
@@ -24,7 +24,7 @@ func TestValidateRejectsMalformedBaselines(t *testing.T) {
 		name, blob, wantErr string
 	}{
 		{"not json", "nope", "not valid JSON"},
-		{"empty object", "{}", "unrecognized schema"},
+		{"empty object", "{}", "unknown schema"},
 		{"missing benchmark", `{"results":[{"workers":1,"ns_per_op":1,"sweep_s":1}]}`, `missing required field "benchmark"`},
 		{"missing date", `{"benchmark":"B","field":"f","results":[{"workers":1,"ns_per_op":1,"sweep_s":1}]}`, `missing required field "date"`},
 		{"bad date", `{"benchmark":"B","date":"05-08-2026","field":"f","results":[{"workers":1,"ns_per_op":1,"sweep_s":1}]}`, "not YYYY-MM-DD"},

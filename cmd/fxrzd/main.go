@@ -10,11 +10,16 @@
 //	GET  /healthz                         liveness + admission state
 //	GET  /metrics                         obs snapshot (per-endpoint p50/p90/p99)
 //
-// Admission control bounds concurrent heavy requests (excess load is shed
-// with 429), caps request bodies (413), and times out stuck requests (503).
+// Admission control splits the in-flight slots into QoS priority classes
+// (estimate > unpack > pack, each with a guaranteed share plus
+// work-conserving borrowing) so cheap estimates never starve behind packs;
+// excess load is shed with 429. Optional per-client rate limiting (-rate,
+// keyed by X-Fxrz-Client or the remote address) sheds over-budget clients
+// with 429 and a Retry-After computed from their token-bucket refill.
+// Request bodies are capped (413) and stuck requests time out (503).
 // SIGINT/SIGTERM drain in-flight requests before exit.
 //
-//	fxrzd -models ./models -addr :8080 -parallelism 0
+//	fxrzd -models ./models -addr :8080 -parallelism 0 -rate 50
 package main
 
 import (
@@ -61,6 +66,8 @@ func parseFlags(args []string) (options, error) {
 	fs.Int64Var(&o.cfg.MaxBodyBytes, "max-body", 256<<20, "request body cap in bytes")
 	fs.DurationVar(&o.cfg.Timeout, "timeout", 60*time.Second, "per-request timeout")
 	fs.IntVar(&o.cfg.Parallelism, "parallelism", 0, "total intra-field worker budget (0 = all cores, 1 = serial)")
+	fs.Float64Var(&o.cfg.RatePerClient, "rate", 0, "per-client request budget on heavy endpoints in req/s (0 = no rate limiting)")
+	fs.IntVar(&o.cfg.RateBurst, "rate-burst", 0, "per-client token-bucket burst (0 = ceil of -rate)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
 	fs.StringVar(&o.obsJSON, "obs-json", "", "write an observability snapshot (JSON) to this file on exit")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this extra address")
@@ -84,6 +91,12 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.cfg.Timeout <= 0 || o.drain <= 0 {
 		return o, fmt.Errorf("-timeout and -drain must be > 0")
+	}
+	if o.cfg.RatePerClient < 0 {
+		return o, fmt.Errorf("-rate must be >= 0 (0 = no rate limiting), got %g", o.cfg.RatePerClient)
+	}
+	if o.cfg.RateBurst < 0 {
+		return o, fmt.Errorf("-rate-burst must be >= 0 (0 = ceil of -rate), got %d", o.cfg.RateBurst)
 	}
 	return o, nil
 }

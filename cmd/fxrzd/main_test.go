@@ -24,6 +24,19 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.drain != 30*time.Second {
 		t.Errorf("drain = %v", o.drain)
 	}
+	if o.cfg.RatePerClient != 0 || o.cfg.RateBurst != 0 {
+		t.Errorf("rate limiting on by default: rate=%g burst=%d", o.cfg.RatePerClient, o.cfg.RateBurst)
+	}
+}
+
+func TestParseFlagsRate(t *testing.T) {
+	o, err := parseFlags([]string{"-models", t.TempDir(), "-rate", "12.5", "-rate-burst", "25"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.RatePerClient != 12.5 || o.cfg.RateBurst != 25 {
+		t.Errorf("rate config = %g/%d, want 12.5/25", o.cfg.RatePerClient, o.cfg.RateBurst)
+	}
 }
 
 func TestParseFlagsRejections(t *testing.T) {
@@ -36,6 +49,8 @@ func TestParseFlagsRejections(t *testing.T) {
 		"zero body cap":        {"-models", dir, "-max-body", "0"},
 		"zero timeout":         {"-models", dir, "-timeout", "0s"},
 		"zero drain":           {"-models", dir, "-drain", "0s"},
+		"negative rate":        {"-models", dir, "-rate", "-1"},
+		"negative rate burst":  {"-models", dir, "-rate-burst", "-3"},
 	}
 	for name, args := range cases {
 		if _, err := parseFlags(args); err == nil {

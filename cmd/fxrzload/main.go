@@ -1,0 +1,645 @@
+// Command fxrzload is the load generator for fxrzd: it drives a mixed
+// estimate/unpack/pack workload at fixed concurrency for a fixed duration and
+// reports per-endpoint latency percentiles (p50/p90/p99/max), shed counts,
+// and throughput. It is the measurement half of the serving-hardening story —
+// the QoS classes and rate limits in fxrzd are only claims until a saturating
+// mixed workload shows estimates completing while packs shed.
+//
+// Two modes:
+//
+//	fxrzload -addr http://host:8080 -model nyx-sz -target 8    # external fxrzd
+//	fxrzload -selfserve -duration 10s -out BENCH_load.json     # in-process fxrzd
+//
+// -selfserve trains a small model once, mounts a real fxrzd handler on a
+// loopback listener, and aims the workload at it — the mode CI uses, no
+// daemon required. -rate, -max-inflight and -parallelism shape that server.
+//
+// The mix is -mix "estimate:unpack:pack" weights; -region-frac turns that
+// fraction of unpack requests into region (partial) decodes. Each worker is
+// its own rate-limiter client (load-<n> via X-Fxrz-Client). The summary is
+// written as a benchguard-validated load baseline (-out), optionally with
+// per-request samples as CSV (-csv); -p99-caps and -shed-cap are recorded
+// into the baseline so the gate travels with the measurement.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/datagen"
+	"github.com/fxrz-go/fxrz/internal/fieldio"
+	"github.com/fxrz-go/fxrz/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fxrzload:", err)
+		os.Exit(1)
+	}
+}
+
+// The workload endpoints, in mix order.
+const (
+	epEstimate = iota
+	epUnpack
+	epPack
+	numEndpoints
+)
+
+var epNames = [numEndpoints]string{"estimate", "unpack", "pack"}
+
+// mixSpec is the parsed -mix: integer weights per endpoint.
+type mixSpec struct {
+	weights [numEndpoints]int
+	sum     int
+	raw     string
+}
+
+// parseMix reads "estimate:unpack:pack" integer weights (e.g. "90:5:5").
+func parseMix(s string) (mixSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != numEndpoints {
+		return mixSpec{}, fmt.Errorf("mix %q must be %d colon-separated weights (estimate:unpack:pack)", s, numEndpoints)
+	}
+	var m mixSpec
+	m.raw = s
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 0 {
+			return mixSpec{}, fmt.Errorf("mix weight %q must be a non-negative integer", p)
+		}
+		m.weights[i] = w
+		m.sum += w
+	}
+	if m.sum == 0 {
+		return mixSpec{}, fmt.Errorf("mix %q has no traffic: at least one weight must be > 0", s)
+	}
+	return m, nil
+}
+
+// pick draws an endpoint index with probability proportional to its weight.
+func (m mixSpec) pick(rng *rand.Rand) int {
+	n := rng.Intn(m.sum)
+	for i, w := range m.weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return numEndpoints - 1
+}
+
+// parseCaps reads "-p99-caps estimate=5,unpack=80,pack=200" (milliseconds).
+func parseCaps(s string) (map[string]float64, error) {
+	caps := map[string]float64{}
+	if s == "" {
+		return caps, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("p99 cap %q must be endpoint=milliseconds", kv)
+		}
+		known := false
+		for _, ep := range epNames {
+			known = known || name == ep
+		}
+		if !known {
+			return nil, fmt.Errorf("p99 cap names unknown endpoint %q (want one of %v)", name, epNames[:])
+		}
+		ms, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(ms > 0) {
+			return nil, fmt.Errorf("p99 cap for %s must be a positive millisecond value, got %q", name, val)
+		}
+		caps[name] = ms
+	}
+	return caps, nil
+}
+
+// options is the parsed flag set.
+type options struct {
+	addr        string
+	selfserve   bool
+	model       string
+	target      float64
+	concurrency int
+	duration    time.Duration
+	mix         mixSpec
+	regionFrac  float64
+	size        int
+	seed        int64
+	csvPath     string
+	outPath     string
+	caps        map[string]float64
+	shedCap     float64
+	note        string
+	rate        float64
+	maxInFlight int
+	parallelism int
+}
+
+// parseFlags validates the command line into options.
+func parseFlags(args []string) (options, error) {
+	var o options
+	var mixStr, capsStr string
+	fs := flag.NewFlagSet("fxrzload", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "", "base URL of a running fxrzd (e.g. http://127.0.0.1:8080)")
+	fs.BoolVar(&o.selfserve, "selfserve", false, "train a small model and serve it in-process instead of -addr")
+	fs.StringVar(&o.model, "model", "", "model ID to drive (default \"loadtest\" with -selfserve)")
+	fs.Float64Var(&o.target, "target", 0, "target compression ratio (0 with -selfserve = middle of the model's valid range)")
+	fs.IntVar(&o.concurrency, "concurrency", 8, "concurrent workers, each a distinct rate-limiter client")
+	fs.DurationVar(&o.duration, "duration", 5*time.Second, "how long to drive the workload")
+	fs.StringVar(&mixStr, "mix", "90:5:5", "estimate:unpack:pack traffic weights")
+	fs.Float64Var(&o.regionFrac, "region-frac", 0.25, "fraction of unpack requests that decode a region (partial decode)")
+	fs.IntVar(&o.size, "size", 24, "per-dimension size of the cubic workload field")
+	fs.Int64Var(&o.seed, "seed", 1, "base RNG seed (worker k uses seed+k)")
+	fs.StringVar(&o.csvPath, "csv", "", "write per-request samples (endpoint,status,latency_us) to this CSV file")
+	fs.StringVar(&o.outPath, "out", "", "write the benchguard load baseline (JSON) to this file")
+	fs.StringVar(&capsStr, "p99-caps", "", "per-endpoint p99 caps in ms recorded into the baseline (e.g. estimate=5,unpack=80,pack=200)")
+	fs.Float64Var(&o.shedCap, "shed-cap", 0, "max tolerated overall shed fraction recorded into the baseline (0 = none)")
+	fs.StringVar(&o.note, "note", "", "extra runner note appended to the baseline")
+	fs.Float64Var(&o.rate, "rate", 0, "selfserve: per-client rate limit in req/s (0 = off)")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "selfserve: admission slots (0 = worker budget)")
+	fs.IntVar(&o.parallelism, "parallelism", 0, "selfserve: intra-field worker budget (0 = all cores, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	var err error
+	if o.mix, err = parseMix(mixStr); err != nil {
+		return o, err
+	}
+	if o.caps, err = parseCaps(capsStr); err != nil {
+		return o, err
+	}
+	if o.selfserve {
+		if o.addr != "" {
+			return o, fmt.Errorf("-selfserve and -addr are mutually exclusive")
+		}
+		if o.model == "" {
+			o.model = "loadtest"
+		}
+	} else {
+		if o.addr == "" {
+			return o, fmt.Errorf("either -addr or -selfserve is required")
+		}
+		if o.model == "" {
+			return o, fmt.Errorf("-model is required without -selfserve")
+		}
+		if !(o.target > 0) {
+			return o, fmt.Errorf("-target must be > 0 without -selfserve (no model to derive it from)")
+		}
+		if o.rate != 0 || o.maxInFlight != 0 || o.parallelism != 0 {
+			return o, fmt.Errorf("-rate, -max-inflight and -parallelism shape the -selfserve server; with -addr, configure fxrzd itself")
+		}
+	}
+	if o.target < 0 {
+		return o, fmt.Errorf("-target must be >= 0, got %g", o.target)
+	}
+	if o.concurrency < 1 {
+		return o, fmt.Errorf("-concurrency must be >= 1, got %d", o.concurrency)
+	}
+	if o.duration <= 0 {
+		return o, fmt.Errorf("-duration must be > 0, got %v", o.duration)
+	}
+	if o.regionFrac < 0 || o.regionFrac > 1 {
+		return o, fmt.Errorf("-region-frac must be in [0, 1], got %g", o.regionFrac)
+	}
+	if o.size < 2 {
+		return o, fmt.Errorf("-size must be >= 2, got %d", o.size)
+	}
+	if o.shedCap < 0 || o.shedCap > 1 {
+		return o, fmt.Errorf("-shed-cap must be in [0, 1], got %g", o.shedCap)
+	}
+	if o.rate < 0 || o.maxInFlight < 0 || o.parallelism < 0 {
+		return o, fmt.Errorf("-rate, -max-inflight and -parallelism must be >= 0")
+	}
+	return o, nil
+}
+
+// sample is one request's outcome. status 0 means the transport failed.
+type sample struct {
+	ep     uint8
+	status int
+	us     int64
+}
+
+// startSelfServe trains a tiny model, saves it under o.model, and mounts a
+// real fxrzd handler on a loopback listener. The returned framework lets the
+// caller derive a target ratio; shutdown drains the server and removes the
+// model directory.
+func startSelfServe(o options, stderr io.Writer) (base string, fw *fxrz.Framework, shutdown func(), err error) {
+	fmt.Fprintln(stderr, "fxrzload: training the self-serve model (small forest, once)")
+	var fields []*fxrz.Field
+	for _, ts := range []int{1, 3, 5} {
+		f, ferr := datagen.NyxField("baryon_density", 1, ts, 16)
+		if ferr != nil {
+			return "", nil, nil, ferr
+		}
+		fields = append(fields, f)
+	}
+	cfg := fxrz.DefaultConfig()
+	cfg.StationaryPoints = 8
+	cfg.AugmentPerField = 30
+	cfg.Trees = 12
+	fw, err = fxrz.Train(fxrz.NewSZ(), fields, cfg)
+	if err != nil {
+		return "", nil, nil, fmt.Errorf("training the self-serve model: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "fxrzload-models-")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	cleanupDir := func() { _ = os.RemoveAll(dir) }
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		cleanupDir()
+		return "", nil, nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, o.model+".fxm"), buf.Bytes(), 0o644); err != nil {
+		cleanupDir()
+		return "", nil, nil, err
+	}
+	s := serve.NewServer(serve.Config{
+		ModelsDir:     dir,
+		MaxInFlight:   o.maxInFlight,
+		Parallelism:   o.parallelism,
+		RatePerClient: o.rate,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cleanupDir()
+		return "", nil, nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		cleanupDir()
+	}
+	return "http://" + ln.Addr().String(), fw, shutdown, nil
+}
+
+// regionQuery builds an interior half-extent box per dimension
+// ("lo:hi,lo:hi,..."), the region= value for partial unpacks.
+func regionQuery(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		lo := d / 4
+		hi := lo + d/2
+		if hi <= lo {
+			hi = lo + 1
+		}
+		parts[i] = fmt.Sprintf("%d:%d", lo, hi)
+	}
+	return strings.Join(parts, ",")
+}
+
+// warmupPack runs one pack outside the measured window: it warms the model
+// cache and its response is the compressed blob every unpack request replays.
+func warmupPack(client *http.Client, packURL string, body []byte) ([]byte, error) {
+	req, err := http.NewRequest("POST", packURL, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(serve.ClientHeader, "load-warmup")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(blob))
+	}
+	return blob, nil
+}
+
+// doRequest sends one POST and returns its outcome sample.
+func doRequest(client *http.Client, ep int, url, clientID string, body []byte) sample {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return sample{ep: uint8(ep)}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(serve.ClientHeader, clientID)
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	us := time.Since(t0).Microseconds()
+	if err != nil {
+		return sample{ep: uint8(ep), us: us}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{ep: uint8(ep), status: resp.StatusCode, us: us}
+}
+
+// percentileMS is the q-th percentile (nearest-rank) of sorted microsecond
+// latencies, in milliseconds.
+func percentileMS(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / 1000
+}
+
+// The baseline shapes benchguard's load schema validates. runnerInfo mirrors
+// the runner block every BENCH_*.json carries.
+type runnerInfo struct {
+	CPU   string `json:"cpu"`
+	Cores int    `json:"cores"`
+	Note  string `json:"note,omitempty"`
+}
+
+type loadSummary struct {
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	Mix         string  `json:"mix"`
+	RegionFrac  float64 `json:"region_frac"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Errors      int     `json:"errors"`
+	ShedFrac    float64 `json:"shed_frac"`
+	ShedCap     float64 `json:"shed_cap,omitempty"`
+	RPS         float64 `json:"rps"`
+}
+
+type endpointEntry struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Errors   int     `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	P99CapMS float64 `json:"p99_cap_ms,omitempty"`
+}
+
+type report struct {
+	Benchmark string          `json:"benchmark"`
+	Date      string          `json:"date"`
+	Runner    runnerInfo      `json:"runner"`
+	Load      loadSummary     `json:"load"`
+	Endpoints []endpointEntry `json:"endpoints"`
+}
+
+// cpuModel names the host CPU for the runner block.
+func cpuModel() string {
+	if b, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if rest, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(rest, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	base := o.addr
+	var fw *fxrz.Framework
+	if o.selfserve {
+		var shutdown func()
+		base, fw, shutdown, err = startSelfServe(o, stderr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	}
+
+	// The workload field: a time step the self-serve model never trained on.
+	f, err := datagen.NyxField("baryon_density", 2, 2, o.size)
+	if err != nil {
+		return err
+	}
+	var fieldBuf bytes.Buffer
+	if err := fieldio.Write(&fieldBuf, f); err != nil {
+		return err
+	}
+	fieldBytes := fieldBuf.Bytes()
+	target := o.target
+	if target == 0 {
+		lo, hi := fw.ValidRatioRange(f)
+		target = lo + 0.5*(hi-lo)
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.concurrency + 2}}
+	packURL := fmt.Sprintf("%s/v1/pack?model=%s&target=%g", base, o.model, target)
+	estimateURL := fmt.Sprintf("%s/v1/estimate?model=%s&target=%g", base, o.model, target)
+	unpackURL := base + "/v1/unpack"
+	regionURL := unpackURL + "?region=" + regionQuery(f.Dims)
+	blob, err := warmupPack(client, packURL, fieldBytes)
+	if err != nil {
+		return fmt.Errorf("warmup pack: %w", err)
+	}
+	fmt.Fprintf(stderr, "fxrzload: driving %s for %v at concurrency %d (mix %s, target %.3g, %d-byte blob)\n",
+		base, o.duration, o.concurrency, o.mix.raw, target, len(blob))
+
+	// The measured window: each worker owns a seeded RNG and a rate-limiter
+	// identity, and loops the mix until the deadline.
+	perWorker := make([][]sample, o.concurrency)
+	deadline := time.Now().Add(o.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(w)))
+			clientID := fmt.Sprintf("load-%d", w)
+			var out []sample
+			for time.Now().Before(deadline) {
+				var s sample
+				switch ep := o.mix.pick(rng); ep {
+				case epEstimate:
+					s = doRequest(client, ep, estimateURL, clientID, fieldBytes)
+				case epUnpack:
+					url := unpackURL
+					if rng.Float64() < o.regionFrac {
+						url = regionURL
+					}
+					s = doRequest(client, ep, url, clientID, blob)
+				case epPack:
+					s = doRequest(client, ep, packURL, clientID, fieldBytes)
+				}
+				out = append(out, s)
+				if s.status == http.StatusTooManyRequests {
+					// Shed or rate-limited: back off instead of busy-spinning.
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+			perWorker[w] = out
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Aggregate per endpoint; percentiles are over OK latencies only (a shed
+	// 429 returns in microseconds and would flatter the tail).
+	type epAgg struct {
+		requests, ok, shed, errors int
+		okUS                       []int64
+	}
+	var agg [numEndpoints]epAgg
+	total := epAgg{}
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			a := &agg[s.ep]
+			a.requests++
+			switch {
+			case s.status == http.StatusOK:
+				a.ok++
+				a.okUS = append(a.okUS, s.us)
+			case s.status == http.StatusTooManyRequests:
+				a.shed++
+			default:
+				a.errors++
+			}
+		}
+	}
+	var entries []endpointEntry
+	for ep, a := range agg {
+		total.requests += a.requests
+		total.ok += a.ok
+		total.shed += a.shed
+		total.errors += a.errors
+		if a.requests == 0 {
+			continue
+		}
+		sort.Slice(a.okUS, func(i, j int) bool { return a.okUS[i] < a.okUS[j] })
+		entries = append(entries, endpointEntry{
+			Name:     epNames[ep],
+			Requests: a.requests,
+			OK:       a.ok,
+			Shed:     a.shed,
+			Errors:   a.errors,
+			P50MS:    percentileMS(a.okUS, 0.50),
+			P90MS:    percentileMS(a.okUS, 0.90),
+			P99MS:    percentileMS(a.okUS, 0.99),
+			MaxMS:    percentileMS(a.okUS, 1),
+			P99CapMS: o.caps[epNames[ep]],
+		})
+	}
+	shedFrac := 0.0
+	if total.requests > 0 {
+		shedFrac = float64(total.shed) / float64(total.requests)
+	}
+
+	fmt.Fprintf(stdout, "fxrzload: %d requests in %.1fs (%.1f req/s): %d ok, %d shed (%.1f%%), %d errors\n",
+		total.requests, elapsed.Seconds(), float64(total.requests)/elapsed.Seconds(),
+		total.ok, total.shed, 100*shedFrac, total.errors)
+	for _, e := range entries {
+		capped := ""
+		if e.P99CapMS > 0 && e.P99MS > e.P99CapMS {
+			capped = "  ** OVER p99 cap **"
+		}
+		fmt.Fprintf(stdout, "  %-8s %6d req  %6d ok  %5d shed  %3d err  p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  max %8.2fms%s\n",
+			e.Name, e.Requests, e.OK, e.Shed, e.Errors, e.P50MS, e.P90MS, e.P99MS, e.MaxMS, capped)
+	}
+
+	if o.csvPath != "" {
+		if err := writeCSV(o.csvPath, perWorker); err != nil {
+			return fmt.Errorf("csv: %w", err)
+		}
+	}
+	if o.outPath != "" {
+		note := fmt.Sprintf("single-run percentiles from fxrzload (mix %s, concurrency %d); shared hardware, treat absolute latencies as indicative", o.mix.raw, o.concurrency)
+		if o.note != "" {
+			note += "; " + o.note
+		}
+		rep := report{
+			Benchmark: "fxrzd mixed-load harness (fxrzload)",
+			Date:      time.Now().Format("2006-01-02"),
+			Runner:    runnerInfo{CPU: cpuModel(), Cores: runtime.NumCPU(), Note: note},
+			Load: loadSummary{
+				Concurrency: o.concurrency,
+				DurationS:   math.Round(elapsed.Seconds()*100) / 100,
+				Mix:         o.mix.raw,
+				RegionFrac:  o.regionFrac,
+				Requests:    total.requests,
+				OK:          total.ok,
+				Shed:        total.shed,
+				Errors:      total.errors,
+				ShedFrac:    math.Round(shedFrac*1e4) / 1e4,
+				ShedCap:     o.shedCap,
+				RPS:         math.Round(float64(total.requests)/elapsed.Seconds()*10) / 10,
+			},
+			Endpoints: entries,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "fxrzload: wrote %s\n", o.outPath)
+	}
+	if total.errors > 0 {
+		return fmt.Errorf("%d request(s) failed (non-200/429) — the baseline is not clean", total.errors)
+	}
+	if total.ok == 0 {
+		return fmt.Errorf("no request succeeded — nothing to measure")
+	}
+	return nil
+}
+
+// writeCSV dumps every sample as endpoint,status,latency_us rows.
+func writeCSV(path string, perWorker [][]sample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	_ = w.Write([]string{"endpoint", "status", "latency_us"})
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			_ = w.Write([]string{epNames[s.ep], strconv.Itoa(s.status), strconv.FormatInt(s.us, 10)})
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags([]string{"-selfserve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.model != "loadtest" {
+		t.Errorf("selfserve default model = %q, want loadtest", o.model)
+	}
+	if o.concurrency != 8 || o.duration != 5*time.Second || o.size != 24 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if o.mix.weights != [numEndpoints]int{90, 5, 5} {
+		t.Errorf("default mix = %v", o.mix.weights)
+	}
+	if o.regionFrac != 0.25 {
+		t.Errorf("default region-frac = %g", o.regionFrac)
+	}
+	if o.target != 0 || o.rate != 0 || o.shedCap != 0 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestParseFlagsRejections(t *testing.T) {
+	cases := map[string][]string{
+		"no addr, no selfserve":  {},
+		"addr plus selfserve":    {"-selfserve", "-addr", "http://x"},
+		"remote without model":   {"-addr", "http://x", "-target", "8"},
+		"remote without target":  {"-addr", "http://x", "-model", "m"},
+		"remote with rate":       {"-addr", "http://x", "-model", "m", "-target", "8", "-rate", "5"},
+		"short mix":              {"-selfserve", "-mix", "90:10"},
+		"negative mix weight":    {"-selfserve", "-mix", "90:-1:11"},
+		"all-zero mix":           {"-selfserve", "-mix", "0:0:0"},
+		"zero concurrency":       {"-selfserve", "-concurrency", "0"},
+		"zero duration":          {"-selfserve", "-duration", "0s"},
+		"region frac over 1":     {"-selfserve", "-region-frac", "1.5"},
+		"tiny size":              {"-selfserve", "-size", "1"},
+		"negative target":        {"-selfserve", "-target", "-2"},
+		"unknown cap endpoint":   {"-selfserve", "-p99-caps", "bogus=1"},
+		"non-positive cap":       {"-selfserve", "-p99-caps", "estimate=0"},
+		"malformed cap":          {"-selfserve", "-p99-caps", "estimate"},
+		"shed cap over 1":        {"-selfserve", "-shed-cap", "2"},
+		"negative max-inflight":  {"-selfserve", "-max-inflight", "-1"},
+		"negative parallelism":   {"-selfserve", "-parallelism", "-1"},
+		"negative selfserv rate": {"-selfserve", "-rate", "-1"},
+	}
+	for name, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("90:5:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.sum != 100 || m.weights != [numEndpoints]int{90, 5, 5} {
+		t.Errorf("mix = %+v", m)
+	}
+	// Zero-weight endpoints are legal (pack-free mixes are a real workload)
+	// and must never be picked.
+	m, err = parseMix("1:1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if m.pick(rng) == epPack {
+			t.Fatal("picked a zero-weight endpoint")
+		}
+	}
+}
+
+func TestMixPickDistribution(t *testing.T) {
+	m, err := parseMix("90:5:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var counts [numEndpoints]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[m.pick(rng)]++
+	}
+	if frac := float64(counts[epEstimate]) / n; frac < 0.85 || frac > 0.95 {
+		t.Errorf("estimate fraction = %.3f, want ~0.90", frac)
+	}
+	if counts[epUnpack] == 0 || counts[epPack] == 0 {
+		t.Errorf("minority endpoints never picked: %v", counts)
+	}
+}
+
+func TestParseCaps(t *testing.T) {
+	caps, err := parseCaps("estimate=5,unpack=80.5,pack=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps["estimate"] != 5 || caps["unpack"] != 80.5 || caps["pack"] != 200 {
+		t.Errorf("caps = %v", caps)
+	}
+	if caps, err := parseCaps(""); err != nil || len(caps) != 0 {
+		t.Errorf("empty caps = %v, %v", caps, err)
+	}
+}
+
+func TestPercentileMS(t *testing.T) {
+	if got := percentileMS(nil, 0.99); got != 0 {
+		t.Errorf("empty percentile = %g", got)
+	}
+	if got := percentileMS([]int64{1500}, 0.5); got != 1.5 {
+		t.Errorf("single-sample p50 = %g, want 1.5", got)
+	}
+	// 1..100 microseconds: nearest-rank p50 is the 50th value, p99 the 99th.
+	var us []int64
+	for i := int64(1); i <= 100; i++ {
+		us = append(us, i)
+	}
+	if got := percentileMS(us, 0.50); got != 0.050 {
+		t.Errorf("p50 = %g, want 0.050", got)
+	}
+	if got := percentileMS(us, 0.99); got != 0.099 {
+		t.Errorf("p99 = %g, want 0.099", got)
+	}
+	if got := percentileMS(us, 1); got != 0.100 {
+		t.Errorf("max = %g, want 0.100", got)
+	}
+}
+
+func TestRegionQuery(t *testing.T) {
+	if got := regionQuery([]int{16, 16, 16}); got != "4:12,4:12,4:12" {
+		t.Errorf("region = %q", got)
+	}
+	// Tiny dims still yield a non-empty box.
+	if got := regionQuery([]int{2, 3}); got != "0:1,0:1" {
+		t.Errorf("region = %q", got)
+	}
+}
+
+// TestEndToEndSelfServe is the harness smoke test: a short self-serve run
+// must produce a clean summary, a parseable baseline whose counts are
+// internally consistent, and a CSV with one row per request.
+func TestEndToEndSelfServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and drives load")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_load.json")
+	csvPath := filepath.Join(dir, "samples.csv")
+	err := run([]string{
+		"-selfserve", "-duration", "300ms", "-concurrency", "2",
+		"-size", "16", "-max-inflight", "4", "-seed", "7",
+		"-mix", "60:20:20", "-out", out, "-csv", csvPath,
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.Requests == 0 || rep.Load.OK == 0 {
+		t.Fatalf("no traffic recorded: %+v", rep.Load)
+	}
+	if rep.Load.Errors != 0 {
+		t.Fatalf("errors in a clean run: %+v", rep.Load)
+	}
+	if rep.Load.Requests != rep.Load.OK+rep.Load.Shed+rep.Load.Errors {
+		t.Errorf("load counts inconsistent: %+v", rep.Load)
+	}
+	if rep.Runner.Cores <= 0 || rep.Runner.CPU == "" || rep.Runner.Note == "" {
+		t.Errorf("runner block incomplete: %+v", rep.Runner)
+	}
+	if rep.Date == "" || rep.Benchmark == "" {
+		t.Errorf("missing benchmark/date: %q %q", rep.Benchmark, rep.Date)
+	}
+	sum := 0
+	for _, e := range rep.Endpoints {
+		if e.Requests != e.OK+e.Shed+e.Errors {
+			t.Errorf("endpoint %s counts inconsistent: %+v", e.Name, e)
+		}
+		if e.OK > 0 && !(e.P50MS > 0 && e.P50MS <= e.P90MS && e.P90MS <= e.P99MS && e.P99MS <= e.MaxMS) {
+			t.Errorf("endpoint %s percentiles not monotone: %+v", e.Name, e)
+		}
+		sum += e.Requests
+	}
+	if sum != rep.Load.Requests {
+		t.Errorf("endpoint requests sum %d != load total %d", sum, rep.Load.Requests)
+	}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != rep.Load.Requests+1 {
+		t.Errorf("csv rows = %d, want %d samples + header", len(rows), rep.Load.Requests)
+	}
+	if strings.Join(rows[0], ",") != "endpoint,status,latency_us" {
+		t.Errorf("csv header = %v", rows[0])
+	}
+}

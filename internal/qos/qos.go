@@ -1,0 +1,238 @@
+// Package qos is the serving tier's admission policy: a fixed pool of
+// request slots split into weighted priority classes, each with a guaranteed
+// share, plus work-conserving borrowing of whatever the guarantees do not
+// currently need.
+//
+// The problem it solves is starvation across request costs. fxrzd's estimate
+// endpoint is a feature lookup (microseconds–milliseconds); pack runs a full
+// compressor over the field (milliseconds–seconds). Behind a single flat
+// semaphore, a burst of packs occupies every slot for their full duration and
+// the cheap, high-volume estimates — the paper's actual production path — are
+// shed even though serving them would cost almost nothing. A priority class
+// with a guaranteed slot share makes that impossible: some capacity is always
+// answerable for each class, no matter what the others are doing.
+//
+// The policy is admit-or-shed, never queue (matching the serving layer's
+// latency-honesty rule), and is enforced with one invariant:
+//
+//	free slots >= sum over classes of (unused guarantee)
+//
+// where a class's unused guarantee is max(0, reserve - inflight). A request
+// is admitted only if the invariant still holds afterwards. Two properties
+// follow directly:
+//
+//   - Guarantee: a class below its reserve is ALWAYS admitted — the invariant
+//     says enough free slots exist to cover its unused reserve, and admitting
+//     it decrements both sides equally.
+//   - Work conservation: slots beyond the guarantees are first-come
+//     first-served across all classes, so any single class may grow to
+//     capacity minus the other classes' *unused* reserves — as guaranteed
+//     traffic arrives and retires, borrowed headroom adapts instead of being
+//     a fixed partition.
+//
+// Reserves are sized from the class weights over half the capacity (the
+// other half is permanently borrowable), so guarantees can never consume the
+// whole pool; at capacity 1 there are no reserves and the controller
+// degenerates to the flat semaphore it replaced.
+package qos
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fxrz-go/fxrz/internal/obs"
+)
+
+// Class declares one priority class. Order matters: earlier classes are
+// higher priority, which breaks ties when distributing reserve slots.
+type Class struct {
+	// Name labels the class in obs metrics and health output.
+	Name string
+	// Weight is the class's relative share of the reserved half of the
+	// capacity. Must be >= 1.
+	Weight int
+}
+
+// Controller is the class-aware admission gate. Create with NewController;
+// the zero value is not usable.
+//
+// All methods are safe for concurrent use. Admission runs under one mutex —
+// at serving request rates (each admitted request then does microseconds to
+// seconds of work) the lock is never contended enough to matter, and it
+// keeps the invariant arithmetic exact, which the guarantee proof needs.
+type Controller struct {
+	capacity int
+	classes  []Class
+	reserve  []int
+
+	mu       sync.Mutex
+	inflight []int
+	total    int
+}
+
+// NewController builds a controller with the given total slot capacity
+// (values < 1 are treated as 1) over the classes in priority order. It
+// panics on an empty class list, a duplicate name, or a weight < 1 — all
+// programmer errors, not runtime conditions.
+func NewController(capacity int, classes []Class) *Controller {
+	if len(classes) == 0 {
+		panic("qos: NewController with no classes")
+	}
+	seen := make(map[string]bool, len(classes))
+	for _, cl := range classes {
+		if cl.Name == "" || seen[cl.Name] {
+			panic(fmt.Sprintf("qos: empty or duplicate class name %q", cl.Name))
+		}
+		seen[cl.Name] = true
+		if cl.Weight < 1 {
+			panic(fmt.Sprintf("qos: class %q has weight %d (must be >= 1)", cl.Name, cl.Weight))
+		}
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Controller{
+		capacity: capacity,
+		classes:  append([]Class(nil), classes...),
+		reserve:  distributeReserves(capacity/2, classes),
+		inflight: make([]int, len(classes)),
+	}
+	obs.SetGauge("qos/capacity", int64(capacity))
+	for i, cl := range c.classes {
+		obs.SetGauge("qos/reserve/"+cl.Name, int64(c.reserve[i]))
+	}
+	return c
+}
+
+// distributeReserves splits budget slots among the classes proportionally to
+// weight by largest remainder; ties (and the order quotas are topped up in)
+// follow class priority. The budget is half the capacity, so the sum of all
+// reserves never exceeds capacity/2 and borrowing always has headroom.
+func distributeReserves(budget int, classes []Class) []int {
+	reserves := make([]int, len(classes))
+	if budget <= 0 {
+		return reserves
+	}
+	sumW := 0
+	for _, cl := range classes {
+		sumW += cl.Weight
+	}
+	assigned := 0
+	// remainders are budget*weight mod sumW, scaled integers so ordering is
+	// exact (no float ties).
+	rem := make([]int, len(classes))
+	for i, cl := range classes {
+		reserves[i] = budget * cl.Weight / sumW
+		rem[i] = budget*cl.Weight - reserves[i]*sumW
+		assigned += reserves[i]
+	}
+	for assigned < budget {
+		best := -1
+		for i := range classes {
+			if rem[i] >= 0 && (best < 0 || rem[i] > rem[best]) {
+				best = i
+			}
+		}
+		if best < 0 { // unreachable: floors drop < 1 slot per class
+			break
+		}
+		reserves[best]++
+		rem[best] = -1 // each class tops up at most once per full pass
+		assigned++
+	}
+	return reserves
+}
+
+// TryAcquire claims a slot for class i without blocking, reporting whether
+// admission succeeded. A class below its reserve always succeeds; beyond it,
+// admission succeeds only while the remaining free slots still cover every
+// other class's unused guarantee (a borrowed slot must never be one a
+// guarantee will need). A false return means shed — the caller should answer
+// 429 and must not Release.
+func (c *Controller) TryAcquire(i int) bool {
+	name := c.classes[i].Name
+	c.mu.Lock()
+	free := c.capacity - c.total
+	if free <= 0 {
+		c.mu.Unlock()
+		obs.Inc("qos/shed/" + name)
+		return false
+	}
+	if c.inflight[i] >= c.reserve[i] {
+		needed := 0
+		for j := range c.classes {
+			if j != i && c.inflight[j] < c.reserve[j] {
+				needed += c.reserve[j] - c.inflight[j]
+			}
+		}
+		if free-1 < needed {
+			c.mu.Unlock()
+			obs.Inc("qos/shed/" + name)
+			return false
+		}
+		obs.Inc("qos/borrowed/" + name)
+	}
+	c.inflight[i]++
+	c.total++
+	peak := int64(c.inflight[i])
+	c.mu.Unlock()
+	obs.Inc("qos/admitted/" + name)
+	obs.AddGauge("qos/inflight/"+name, 1)
+	obs.MaxGauge("qos/inflight_peak/"+name, peak)
+	return true
+}
+
+// Release returns a slot previously acquired for class i. Releasing a class
+// with nothing in flight panics, as that always indicates an accounting bug.
+func (c *Controller) Release(i int) {
+	c.mu.Lock()
+	if c.inflight[i] == 0 {
+		c.mu.Unlock()
+		panic("qos: Release without matching TryAcquire for class " + c.classes[i].Name)
+	}
+	c.inflight[i]--
+	c.total--
+	c.mu.Unlock()
+	obs.AddGauge("qos/inflight/"+c.classes[i].Name, -1)
+}
+
+// Capacity returns the total slot count.
+func (c *Controller) Capacity() int { return c.capacity }
+
+// Reserve returns class i's guaranteed slot count.
+func (c *Controller) Reserve(i int) int { return c.reserve[i] }
+
+// InFlight returns class i's currently admitted count (racy by nature; for
+// gauges, health output and tests).
+func (c *Controller) InFlight(i int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight[i]
+}
+
+// Total returns the currently admitted count across all classes.
+func (c *Controller) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// ClassStatus is one class's admission state, as reported by Status.
+type ClassStatus struct {
+	Name     string `json:"name"`
+	Weight   int    `json:"weight"`
+	Reserve  int    `json:"reserve"`
+	InFlight int    `json:"in_flight"`
+}
+
+// Status returns a consistent snapshot of every class's admission state, in
+// priority order.
+func (c *Controller) Status() []ClassStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ClassStatus, len(c.classes))
+	for i, cl := range c.classes {
+		out[i] = ClassStatus{Name: cl.Name, Weight: cl.Weight, Reserve: c.reserve[i], InFlight: c.inflight[i]}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/fieldio"
+	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/serve"
+)
+
+// TestEstimatesSurvivePackFlood is the QoS acceptance test: a saturating
+// pack flood must not starve the estimate path. It is deterministic — the
+// flood consists of pack requests whose bodies never finish arriving (stalled
+// io.Pipe), so they hold their admission slots until the test releases them,
+// and the class arithmetic (capacity 8 → reserves estimate 2, unpack 1,
+// pack 1, borrow pool 4) pins exactly how many packs get in.
+func TestEstimatesSurvivePackFlood(t *testing.T) {
+	ts, _ := newTestServer(t, func(c *serve.Config) { c.MaxInFlight = 8 })
+	f := testField(t)
+	target := midTarget(t, f)
+	before := obs.TakeSnapshot()
+
+	// Pack can reach its reserve (1) plus everything not needed by the other
+	// guarantees (4): exactly 5 in-flight packs.
+	const floodWidth = 5
+	type held struct {
+		pw   *io.PipeWriter
+		done chan error
+	}
+	flood := make([]held, floodWidth)
+	for i := range flood {
+		pr, pw := io.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			resp, err := http.Post(
+				fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, target),
+				"application/octet-stream", pr)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				if resp.StatusCode != 200 {
+					err = fmt.Errorf("flood pack status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+			done <- err
+		}()
+		flood[i] = held{pw: pw, done: done}
+	}
+	waitInFlight(t, ts.URL, floodWidth)
+
+	// The flood has everything pack may hold: the next pack is shed with the
+	// overload 429 and its fixed Retry-After of 1 (the rate-limit 429, by
+	// contrast, derives Retry-After from the bucket — see the ratelimit
+	// tests).
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/pack?model=nyx-sz&target=%g", ts.URL, target),
+		"application/octet-stream", fieldBody(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("6th pack under flood: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("overload Retry-After = %q, want \"1\"", got)
+	}
+
+	// Estimates keep completing under the saturating flood — the guaranteed
+	// reserve admits them every time.
+	for k := 0; k < 3; k++ {
+		resp, err := http.Post(
+			fmt.Sprintf("%s/v1/estimate?model=nyx-sz&target=%g", ts.URL, target),
+			"application/octet-stream", fieldBody(t, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("estimate %d under pack flood: status %d: %s", k, resp.StatusCode, body)
+		}
+	}
+	// Unpack's guarantee holds too.
+	blob, _, err := trainedFW.CompressToRatio(f, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/unpack", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("unpack under pack flood: status %d", resp.StatusCode)
+	}
+
+	// The guarantee is observable, not just behavioral: per-class obs
+	// counters show estimates admitted with zero sheds while packs shed.
+	after := obs.TakeSnapshot()
+	delta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
+	if delta("qos/shed/estimate") != 0 {
+		t.Errorf("qos/shed/estimate = %d under pack flood, want 0", delta("qos/shed/estimate"))
+	}
+	if delta("qos/admitted/estimate") < 3 {
+		t.Errorf("qos/admitted/estimate = %d, want >= 3", delta("qos/admitted/estimate"))
+	}
+	if delta("qos/shed/pack") < 1 {
+		t.Errorf("qos/shed/pack = %d, want >= 1", delta("qos/shed/pack"))
+	}
+	if delta("qos/borrowed/pack") < 4 {
+		t.Errorf("qos/borrowed/pack = %d, want >= 4 (flood borrowed the shared pool)", delta("qos/borrowed/pack"))
+	}
+
+	// Release the flood: every held pack must still complete correctly.
+	var buf bytes.Buffer
+	if err := fieldio.Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range flood {
+		if _, err := io.Copy(h.pw, bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		h.pw.Close()
+	}
+	for i, h := range flood {
+		if err := <-h.done; err != nil {
+			t.Errorf("flood pack %d: %v", i, err)
+		}
+	}
+}
+
+// TestHealthzReportsClasses: the per-class admission state is part of the
+// health surface, so operators can see reserves and usage without metrics.
+func TestHealthzReportsClasses(t *testing.T) {
+	ts, _ := newTestServer(t, func(c *serve.Config) { c.MaxInFlight = 8 })
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	h := decodeJSON[serve.HealthResponse](t, resp.Body)
+	if len(h.Classes) != 3 {
+		t.Fatalf("healthz classes = %+v, want 3 entries", h.Classes)
+	}
+	wantReserve := map[string]int{"estimate": 2, "unpack": 1, "pack": 1}
+	for _, cs := range h.Classes {
+		if cs.Reserve != wantReserve[cs.Name] {
+			t.Errorf("class %s reserve = %d, want %d", cs.Name, cs.Reserve, wantReserve[cs.Name])
+		}
+	}
+	if h.Classes[0].Name != "estimate" {
+		t.Errorf("classes not in priority order: %+v", h.Classes)
+	}
+}

@@ -1,0 +1,145 @@
+// Rate-limit tests live in the serve package (not serve_test) so they can
+// hand the limiter a fake clock and make the Retry-After values exact. They
+// need no trained model: the rate limiter runs before the model registry is
+// consulted, so a limited request 429s no matter what the body holds.
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newRateLimitedServer builds a server with the given per-client rate and a
+// manually advanced clock (mutex-guarded: the limiter reads it from handler
+// goroutines), serving an empty models directory.
+func newRateLimitedServer(t *testing.T, rate float64, burst int) (*httptest.Server, *Server, func(time.Duration)) {
+	t.Helper()
+	s := NewServer(Config{ModelsDir: t.TempDir(), MaxInFlight: 4, RatePerClient: rate, RateBurst: burst})
+	var mu sync.Mutex
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	s.limits.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s, func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+}
+
+// post sends an unpack request (garbage body — only the limiter's verdict
+// matters) tagged with the given client ID.
+func post(t *testing.T, url, client string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/unpack", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client != "" {
+		req.Header.Set(ClientHeader, client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestRateLimit429RetryAfter pins the satellite requirement: a rate-limited
+// 429 carries a Retry-After derived from the client's actual bucket refill
+// time — here 0.5 req/s with burst 1, so an empty bucket is exactly 2
+// seconds from a full token.
+func TestRateLimit429RetryAfter(t *testing.T) {
+	ts, _, advance := newRateLimitedServer(t, 0.5, 1)
+
+	// The first request spends the burst token; it is admitted (and then
+	// fails as a 400, which is fine — admission is what's under test).
+	if resp := post(t, ts.URL, "c1"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("first request status %d, want 400 (admitted, bad blob)", resp.StatusCode)
+	}
+	// Zero time has passed on the fake clock: the bucket is empty and a full
+	// token is 1/0.5 = 2s away.
+	resp := post(t, ts.URL, "c1")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("rate-limit Retry-After = %q, want \"2\" (refill-derived)", got)
+	}
+	// Half the refill later, half the wait remains — the header tracks the
+	// bucket, it is not a constant.
+	advance(time.Second)
+	if resp := post(t, ts.URL, "c1"); resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("after 1s, Retry-After = %q, want \"1\"", resp.Header.Get("Retry-After"))
+	}
+	// A full refill later the client is admitted again.
+	advance(time.Second)
+	if resp := post(t, ts.URL, "c1"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("after full refill, status %d, want 400 (admitted)", resp.StatusCode)
+	}
+}
+
+// TestRateLimitIsPerClient: one client exhausting its bucket must not affect
+// another, and requests without the client header fall back to the remote
+// address (which httptest keeps constant, so they share one bucket).
+func TestRateLimitIsPerClient(t *testing.T) {
+	ts, _, _ := newRateLimitedServer(t, 1, 1)
+	if resp := post(t, ts.URL, "a"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("a's first request: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL, "a"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatal("a's second request was not limited")
+	}
+	if resp := post(t, ts.URL, "b"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("b was limited by a's traffic")
+	}
+	// Headerless requests key on the loopback address: the second one in the
+	// same instant is limited.
+	if resp := post(t, ts.URL, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("first headerless request was limited")
+	}
+	if resp := post(t, ts.URL, ""); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatal("second headerless request was not limited")
+	}
+}
+
+// TestRateLimitDisabledByDefault: the zero config never 429s on rate (the
+// flat admission behavior every existing test depends on).
+func TestRateLimitDisabledByDefault(t *testing.T) {
+	s := NewServer(Config{ModelsDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for k := 0; k < 20; k++ {
+		if resp := post(t, ts.URL, "hammer"); resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("request %d rate-limited with no rate configured", k)
+		}
+	}
+}
+
+// TestLightEndpointsNotLimited: health and metrics stay reachable for a
+// rate-limited client — shedding the diagnostics would hide the overload.
+func TestLightEndpointsNotLimited(t *testing.T) {
+	ts, _, _ := newRateLimitedServer(t, 0.5, 1)
+	post(t, ts.URL, "c1") // spend the bucket
+	for _, path := range []string{"/healthz", "/v1/models", "/metrics"} {
+		req, _ := http.NewRequest("GET", ts.URL+path, nil)
+		req.Header.Set(ClientHeader, "c1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s for a limited client: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

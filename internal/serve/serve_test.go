@@ -537,8 +537,8 @@ func TestOverload429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("overload 429 Retry-After = %q, want the fixed \"1\"", got)
 	}
 
 	// Deliver the held request's body; it must complete normally.

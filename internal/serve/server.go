@@ -7,13 +7,18 @@
 // serving impractical — while /v1/pack and /v1/unpack run the actual codecs
 // through the ParallelCompressor plumbing for clients that want the bytes.
 //
-// The server owns three serving concerns the library does not:
+// The server owns four serving concerns the library does not:
 //
 //   - a model Registry (LRU cache of trained forests, single-flight cold
 //     loads from the Save/Load persistence format),
-//   - admission control (a bounded in-flight semaphore sharing the
-//     pool.Split budget rule so request concurrency and intra-field workers
-//     do not multiply, per-request timeouts, request body caps), and
+//   - admission control (QoS priority classes over a bounded slot pool —
+//     estimate > unpack > pack, each with a guaranteed share plus
+//     work-conserving borrowing, see internal/qos — sharing the pool.Split
+//     budget rule so request concurrency and intra-field workers do not
+//     multiply, per-request timeouts, request body caps),
+//   - per-client rate limiting (token buckets keyed by X-Fxrz-Client or the
+//     remote address, see internal/ratelimit; refusals carry a Retry-After
+//     computed from the client's actual bucket refill time), and
 //   - observability (per-endpoint counters and latency histograms through
 //     internal/obs, exported at /metrics with p50/p90/p99).
 package serve
@@ -24,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -34,7 +40,31 @@ import (
 	"github.com/fxrz-go/fxrz/internal/fieldio"
 	"github.com/fxrz-go/fxrz/internal/obs"
 	"github.com/fxrz-go/fxrz/internal/pool"
+	"github.com/fxrz-go/fxrz/internal/qos"
+	"github.com/fxrz-go/fxrz/internal/ratelimit"
 )
+
+// The QoS class roster, in priority order. Estimate is the paper's
+// high-volume cheap path (a feature lookup, never a compressor run) and gets
+// twice the reserved weight; unpack outranks pack because decompression is
+// typically interactive (an analysis waiting on bytes) while compression is
+// batch. Class indexes are what handlers pass to instrument.
+const (
+	classEstimate = iota
+	classUnpack
+	classPack
+	classNone = -1 // light endpoints: no admission control
+)
+
+var qosClasses = []qos.Class{
+	{Name: "estimate", Weight: 2},
+	{Name: "unpack", Weight: 1},
+	{Name: "pack", Weight: 1},
+}
+
+// ClientHeader names the request header that identifies a client to the
+// rate limiter; requests without it are keyed by remote address.
+const ClientHeader = "X-Fxrz-Client"
 
 // Config sizes the server's serving limits. The zero value of every field
 // selects a production-safe default.
@@ -59,6 +89,13 @@ type Config struct {
 	// passes with budget/MaxInFlight workers, so admission × inner workers
 	// stays at the configured budget.
 	Parallelism int
+	// RatePerClient caps each client's sustained request rate on the heavy
+	// endpoints, in requests/second (token bucket, burst RateBurst).
+	// 0 disables per-client rate limiting.
+	RatePerClient float64
+	// RateBurst is the per-client token-bucket depth (default:
+	// ceil(RatePerClient), at least 1).
+	RateBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,9 +117,10 @@ func (c Config) withDefaults() Config {
 // Server is the fxrzd request handler set. Create with NewServer, mount
 // with Handler.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	admit *pool.Semaphore
+	cfg    Config
+	reg    *Registry
+	admit  *qos.Controller
+	limits *ratelimit.Limiter
 	// inner is the per-request intra-field worker budget under full
 	// admission, per the pool.Split rule.
 	inner int
@@ -95,10 +133,11 @@ func NewServer(cfg Config) *Server {
 	obs.SetGauge("serve/admission_slots", int64(cfg.MaxInFlight))
 	obs.SetGauge("serve/workers_per_request", int64(inner))
 	return &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.ModelsDir, cfg.CacheSize),
-		admit: pool.NewSemaphore(cfg.MaxInFlight),
-		inner: inner,
+		cfg:    cfg,
+		reg:    NewRegistry(cfg.ModelsDir, cfg.CacheSize),
+		admit:  qos.NewController(cfg.MaxInFlight, qosClasses),
+		limits: ratelimit.New(ratelimit.Config{Rate: cfg.RatePerClient, Burst: cfg.RateBurst}),
+		inner:  inner,
 	}
 }
 
@@ -109,11 +148,11 @@ func (s *Server) Registry() *Registry { return s.reg }
 // metrics endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/estimate", s.instrument("estimate", true, s.handleEstimate))
-	mux.Handle("POST /v1/pack", s.instrument("pack", true, s.handlePack))
-	mux.Handle("POST /v1/unpack", s.instrument("unpack", true, s.handleUnpack))
-	mux.Handle("GET /v1/models", s.instrument("models", false, s.handleModels))
-	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.Handle("POST /v1/estimate", s.instrument("estimate", classEstimate, s.handleEstimate))
+	mux.Handle("POST /v1/pack", s.instrument("pack", classPack, s.handlePack))
+	mux.Handle("POST /v1/unpack", s.instrument("unpack", classUnpack, s.handleUnpack))
+	mux.Handle("GET /v1/models", s.instrument("models", classNone, s.handleModels))
+	mux.Handle("GET /healthz", s.instrument("healthz", classNone, s.handleHealthz))
 	mux.Handle("GET /metrics", obs.Handler())
 	return mux
 }
@@ -125,23 +164,34 @@ type apiError struct {
 
 // instrument wraps a handler with the serving concerns: request/error
 // counters and a latency histogram under the endpoint's name, and — for
-// heavy endpoints — admission control: an in-flight slot (429 when none
-// free), the request timeout, and the body size cap.
-func (s *Server) instrument(ep string, heavy bool, h http.HandlerFunc) http.Handler {
+// heavy endpoints (class >= 0) — the per-client rate limit (429 with a
+// refill-derived Retry-After), class-aware admission control (429 with
+// Retry-After: 1 when the class's slots are exhausted), the request timeout,
+// and the body size cap. The rate limit runs before admission so a refused
+// client never consumes a slot.
+func (s *Server) instrument(ep string, class int, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		obs.Inc("serve/requests/" + ep)
 		defer obs.Span("serve/latency/" + ep)()
-		if heavy {
-			if !s.admit.TryAcquire() {
+		if class != classNone {
+			if ok, retry := s.limits.Allow(clientID(r)); !ok {
+				obs.Inc("serve/rejected/ratelimit")
+				w.Header().Set("Retry-After", strconv.Itoa(ratelimit.RetryAfterSeconds(retry)))
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("client over its %g req/s rate limit", s.cfg.RatePerClient))
+				return
+			}
+			if !s.admit.TryAcquire(class) {
 				obs.Inc("serve/rejected/overload")
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests,
-					fmt.Errorf("server at capacity (%d requests in flight)", s.admit.Cap()))
+					fmt.Errorf("server at capacity for %s requests (%d of %d slots in use)",
+						qosClasses[class].Name, s.admit.Total(), s.admit.Capacity()))
 				return
 			}
-			defer s.admit.Release()
+			defer s.admit.Release(class)
 			obs.AddGauge("serve/inflight", 1)
-			obs.MaxGauge("serve/inflight_peak", int64(s.admit.InUse()))
+			obs.MaxGauge("serve/inflight_peak", int64(s.admit.Total()))
 			defer obs.AddGauge("serve/inflight", -1)
 
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
@@ -155,6 +205,19 @@ func (s *Server) instrument(ep string, heavy bool, h http.HandlerFunc) http.Hand
 			obs.Inc("serve/errors/" + ep)
 		}
 	})
+}
+
+// clientID keys the rate limiter: the ClientHeader when the caller sends
+// one, else the remote host (without the per-connection port, so one client
+// is one bucket across keep-alive connections).
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(ClientHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
 }
 
 // statusWriter records the status code for the error counters.
@@ -472,19 +535,23 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ModelsResponse{Models: models})
 }
 
-// HealthResponse is the JSON body of GET /healthz.
+// HealthResponse is the JSON body of GET /healthz. Classes reports the QoS
+// admission state per priority class (reserved share and current usage), in
+// priority order.
 type HealthResponse struct {
-	Status         string   `json:"status"`
-	InFlight       int      `json:"in_flight"`
-	AdmissionSlots int      `json:"admission_slots"`
-	ResidentModels []string `json:"resident_models"`
+	Status         string            `json:"status"`
+	InFlight       int               `json:"in_flight"`
+	AdmissionSlots int               `json:"admission_slots"`
+	Classes        []qos.ClassStatus `json:"classes"`
+	ResidentModels []string          `json:"resident_models"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:         "ok",
-		InFlight:       s.admit.InUse(),
-		AdmissionSlots: s.admit.Cap(),
+		InFlight:       s.admit.Total(),
+		AdmissionSlots: s.admit.Capacity(),
+		Classes:        s.admit.Status(),
 		ResidentModels: s.reg.Resident(),
 	})
 }
