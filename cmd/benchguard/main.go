@@ -101,10 +101,11 @@ const (
 // before/after ratios — and unlike the parallel wall-clock speedups — the
 // overhead is measured within one run on one machine, so it gates anywhere.
 type serveBaseline struct {
-	Benchmark string         `json:"benchmark"`
-	Date      string         `json:"date"`
-	Runner    compressRunner `json:"runner"`
-	Endpoints []serveEntry   `json:"endpoints"`
+	Benchmark string            `json:"benchmark"`
+	Date      string            `json:"date"`
+	Runner    compressRunner    `json:"runner"`
+	Endpoints []serveEntry      `json:"endpoints"`
+	Batch     []serveBatchEntry `json:"batch"`
 }
 
 type serveEntry struct {
@@ -113,6 +114,24 @@ type serveEntry struct {
 	NsPerReqDirect float64 `json:"ns_per_req_direct"`
 	NsPerReqHTTP   float64 `json:"ns_per_req_http"`
 	Overhead       float64 `json:"overhead"`
+}
+
+// serveBatchEntry records one /v1/*-many amortization curve: per-item ns at
+// each batch size (whole-batch ns/op divided by the /bN subname), the b1/b16
+// per-item ratio, and the floor that ratio was merged under. Per-item cost
+// must also fall (within slack) as the batch grows — a curve that bends back
+// up means the batch path serializes work the single path did not.
+type serveBatchEntry struct {
+	Name              string             `json:"name"`
+	Bench             string             `json:"bench"`
+	Results           []serveBatchResult `json:"results"`
+	AmortizationB16   float64            `json:"amortization_b16"`
+	AmortizationFloor float64            `json:"amortization_floor"`
+}
+
+type serveBatchResult struct {
+	Batch     int     `json:"batch"`
+	NsPerItem float64 `json:"ns_per_item"`
 }
 
 // serveOverheadCaps bounds how much a request may cost through the HTTP
@@ -126,8 +145,28 @@ var serveOverheadCaps = map[string]float64{
 	"unpack":   4.0,
 }
 
-// requiredEndpoints is the roster a serve baseline must cover.
+// requiredEndpoints is the roster a serve baseline must cover, and
+// requiredBatchEndpoints the amortization curves it must record.
 var requiredEndpoints = []string{"estimate", "pack", "unpack"}
+var requiredBatchEndpoints = []string{"estimate", "pack", "unpack"}
+
+// serveBatchSizes is the fixed batch-size ladder every curve must record.
+var serveBatchSizes = []int{1, 4, 16, 64}
+
+const (
+	// batchEstimateAmortFloor is the merge-time guarantee of the batch
+	// endpoints: per-item cost of the features-mode estimate at batch 16
+	// must be at least 3x below batch 1, or batching is not amortizing the
+	// per-request overhead it exists to amortize.
+	batchEstimateAmortFloor = 3.0
+	// batchMonotonicitySlack is how much a per-item cost may rise from one
+	// batch size to the next before the curve counts as regressing. The
+	// tolerance is wide because large-body curves (unpack at batch 16 moves
+	// ~300KB requests and ~900KB responses over loopback) pick up 10-20% of
+	// socket-scheduling noise on small fixtures; a batch path that actually
+	// serialized work the single path did not would overshoot this by far.
+	batchMonotonicitySlack = 1.25
+)
 
 // roiBaseline mirrors the schema of BENCH_roi.json: per-codec ns to decode a
 // fixed subvolume out of an indexed stream versus a full decode through the
@@ -566,6 +605,72 @@ func validateServe(raw []byte) error {
 			return fmt.Errorf("missing required endpoint %q", name)
 		}
 	}
+	if len(b.Batch) == 0 {
+		return fmt.Errorf("missing required section %q: the /v1/*-many amortization curves must be recorded", "batch")
+	}
+	seenBatch := make(map[string]serveBatchEntry, len(b.Batch))
+	for i, e := range b.Batch {
+		if e.Name == "" {
+			return fmt.Errorf("batch[%d]: missing name", i)
+		}
+		if _, dup := seenBatch[e.Name]; dup {
+			return fmt.Errorf("batch[%d]: duplicate entry for %q", i, e.Name)
+		}
+		seenBatch[e.Name] = e
+		if e.Bench == "" {
+			return fmt.Errorf("batch[%d] (%s): missing bench", i, e.Name)
+		}
+		byN := make(map[int]float64, len(e.Results))
+		for j, r := range e.Results {
+			if r.Batch <= 0 {
+				return fmt.Errorf("batch[%d] (%s) results[%d]: batch must be > 0, got %d", i, e.Name, j, r.Batch)
+			}
+			if !(r.NsPerItem > 0) {
+				return fmt.Errorf("batch[%d] (%s) results[%d]: ns_per_item must be > 0, got %v", i, e.Name, j, r.NsPerItem)
+			}
+			if _, dup := byN[r.Batch]; dup {
+				return fmt.Errorf("batch[%d] (%s): duplicate entry for batch=%d", i, e.Name, r.Batch)
+			}
+			byN[r.Batch] = r.NsPerItem
+		}
+		for _, n := range serveBatchSizes {
+			if _, ok := byN[n]; !ok {
+				return fmt.Errorf("batch[%d] (%s): missing result for batch=%d", i, e.Name, n)
+			}
+		}
+		for k := 1; k < len(serveBatchSizes); k++ {
+			prev, cur := serveBatchSizes[k-1], serveBatchSizes[k]
+			if byN[cur] > byN[prev]*batchMonotonicitySlack {
+				return fmt.Errorf("batch[%d] (%s): per-item cost rises from %.0fns at batch %d to %.0fns at batch %d (> %.0f%% slack)",
+					i, e.Name, byN[prev], prev, byN[cur], cur, (batchMonotonicitySlack-1)*100)
+			}
+		}
+		ratio := byN[1] / byN[16]
+		if !(e.AmortizationB16 > 0) {
+			return fmt.Errorf("batch[%d] (%s): amortization_b16 must be > 0, got %v", i, e.Name, e.AmortizationB16)
+		}
+		if ratio/e.AmortizationB16 > 1.01 || e.AmortizationB16/ratio > 1.01 {
+			return fmt.Errorf("batch[%d] (%s): amortization_b16 %.3f inconsistent with b1/b16 per-item ratio %.3f",
+				i, e.Name, e.AmortizationB16, ratio)
+		}
+		if e.AmortizationFloor < 0 {
+			return fmt.Errorf("batch[%d] (%s): amortization_floor must be >= 0, got %v", i, e.Name, e.AmortizationFloor)
+		}
+		if e.AmortizationFloor > 0 && e.AmortizationB16 < e.AmortizationFloor {
+			return fmt.Errorf("batch[%d] (%s): amortization %.2fx at batch 16 below the %.1fx floor",
+				i, e.Name, e.AmortizationB16, e.AmortizationFloor)
+		}
+	}
+	for _, name := range requiredBatchEndpoints {
+		if _, ok := seenBatch[name]; !ok {
+			return fmt.Errorf("missing required batch endpoint %q", name)
+		}
+	}
+	// The estimate curve must keep its merge-time floor, not just any
+	// self-declared one.
+	if est := seenBatch["estimate"]; est.AmortizationFloor < batchEstimateAmortFloor {
+		return fmt.Errorf("batch estimate: amortization_floor %.2f below the required %.1fx", est.AmortizationFloor, batchEstimateAmortFloor)
+	}
 	return nil
 }
 
@@ -787,6 +892,61 @@ func parseServeBenchLine(line string) (name, role string, v float64, ok bool) {
 	return strings.ToLower(base), role, v, true
 }
 
+// batchSub matches the /bN batch-size subname of BenchmarkServeBatch* runs.
+var batchSub = regexp.MustCompile(`^b(\d+)$`)
+
+// parseServeBatchBenchLine extracts (curve, role, per-item ns) from a
+// BenchmarkServeBatchEstimate/b16-style line. The benchmark reports
+// whole-batch ns/op, so the value is divided by the batch size from the /bN
+// subname. The b1 run plays the "before" role and b16 the "after", pairing as
+// "<endpoint>_batch16" with the before/after ratio being the per-item
+// amortization; the b4/b64 points are recorded in the baseline but not
+// re-paired here.
+func parseServeBatchBenchLine(line string) (name, role string, v float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkServeBatch") {
+		return "", "", 0, false
+	}
+	parts := strings.Split(procSuffix.ReplaceAllString(fields[0], ""), "/")
+	if len(parts) != 2 {
+		return "", "", 0, false
+	}
+	base := strings.TrimPrefix(parts[0], "BenchmarkServeBatch")
+	if base == "" {
+		return "", "", 0, false
+	}
+	m := batchSub.FindStringSubmatch(parts[1])
+	if m == nil {
+		return "", "", 0, false
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil || n <= 0 {
+		return "", "", 0, false
+	}
+	switch n {
+	case 1:
+		role = "before"
+	case 16:
+		role = "after"
+	default:
+		return "", "", 0, false
+	}
+	if fields[3] != "ns/op" {
+		return "", "", 0, false
+	}
+	v, err = strconv.ParseFloat(fields[2], 64)
+	if err != nil || !(v > 0) {
+		return "", "", 0, false
+	}
+	return strings.ToLower(base) + "_batch16", role, v / float64(n), true
+}
+
+// batchAmortFloors are the absolute per-item amortization floors enforced in
+// -deltas mode, keyed by the paired curve name.
+var batchAmortFloors = map[string]float64{
+	"estimate_batch16": batchEstimateAmortFloor,
+}
+
 // parseRoiBenchLine extracts (region entry, role, ns/op) from a
 // BenchmarkRegionDecode/zfp/full-style line: the full decode plays the
 // "before" role and the subvolume decode the "after", so the pair's
@@ -833,6 +993,7 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 	isCompress := map[string]bool{}
 	isServe := map[string]bool{}
 	isRoi := map[string]bool{}
+	isBatch := map[string]bool{}
 	roiFloors := map[string]float64{}
 	record := func(name, role string, v float64) {
 		p := measured[name]
@@ -860,6 +1021,11 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 		if name, role, v, ok := parseRoiBenchLine(sc.Text()); ok {
 			record(name, role, v)
 			isRoi[name] = true
+			continue
+		}
+		if name, role, v, ok := parseServeBatchBenchLine(sc.Text()); ok {
+			record(name, role, v)
+			isBatch[name] = true
 			continue
 		}
 		if name, role, v, ok := parseServeBenchLine(sc.Text()); ok {
@@ -902,6 +1068,9 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 			// inverse of the recorded overhead.
 			recorded[e.Name] = 1 / e.Overhead
 		}
+		for _, e := range sb.Batch {
+			recorded[e.Name+"_batch16"] = e.AmortizationB16
+		}
 		for _, e := range rb.Regions {
 			recorded[e.Name] = e.Speedup
 			roiFloors[e.Name] = e.SpeedupFloor
@@ -933,6 +1102,9 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 				// Region pairs gate on their absolute floors below; the
 				// recorded ratio stays informational, because the sz pair's
 				// small ratio swings more than 10% run to run on busy boxes.
+			case isBatch[name]:
+				// Batch pairs likewise gate on their absolute amortization
+				// floor below, not on run-to-run ratio drift.
 			case sp < minSpeedup*rec:
 				failures = append(failures, fmt.Sprintf(
 					"%s: measured speedup %.2fx regressed >10%% against recorded %.2fx", name, sp, rec))
@@ -950,6 +1122,15 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 				if sp < floor {
 					failures = append(failures, fmt.Sprintf(
 						"%s: region speedup %.2fx below the %.1fx floor", name, sp, floor))
+				}
+			}
+		}
+		if isBatch[name] {
+			if floor := batchAmortFloors[name]; floor > 0 {
+				note += fmt.Sprintf(" (gate: %.1fx floor)", floor)
+				if sp < floor {
+					failures = append(failures, fmt.Sprintf(
+						"%s: per-item amortization %.2fx at batch 16 below the %.1fx floor", name, sp, floor))
 				}
 			}
 		}

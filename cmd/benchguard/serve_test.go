@@ -11,13 +11,37 @@ import (
 // fullServe builds a valid serve baseline, optionally mutated, as JSON.
 func fullServe(t *testing.T, mutate func(map[string]*serveEntry)) string {
 	t.Helper()
+	return fullServeWithBatch(t, mutate, nil)
+}
+
+// batchResults builds the fixed-size ladder from four per-item costs.
+func batchResults(b1, b4, b16, b64 float64) []serveBatchResult {
+	return []serveBatchResult{
+		{Batch: 1, NsPerItem: b1}, {Batch: 4, NsPerItem: b4},
+		{Batch: 16, NsPerItem: b16}, {Batch: 64, NsPerItem: b64},
+	}
+}
+
+func fullServeWithBatch(t *testing.T, mutate func(map[string]*serveEntry), mutateBatch func(map[string]*serveBatchEntry)) string {
+	t.Helper()
 	es := map[string]*serveEntry{
 		"estimate": {Name: "estimate", Bench: "BenchmarkServeEstimate", NsPerReqDirect: 50000, NsPerReqHTTP: 210000, Overhead: 4.2},
 		"pack":     {Name: "pack", Bench: "BenchmarkServePack", NsPerReqDirect: 1160000, NsPerReqHTTP: 1490000, Overhead: 1.28},
 		"unpack":   {Name: "unpack", Bench: "BenchmarkServeUnpack", NsPerReqDirect: 180000, NsPerReqHTTP: 387000, Overhead: 2.15},
 	}
+	bs := map[string]*serveBatchEntry{
+		"estimate": {Name: "estimate", Bench: "BenchmarkServeBatchEstimate",
+			Results: batchResults(51200, 20000, 16000, 12500), AmortizationB16: 3.2, AmortizationFloor: 3.0},
+		"pack": {Name: "pack", Bench: "BenchmarkServeBatchPack",
+			Results: batchResults(2100000, 2080000, 2050000, 2040000), AmortizationB16: 1.02},
+		"unpack": {Name: "unpack", Bench: "BenchmarkServeBatchUnpack",
+			Results: batchResults(700000, 500000, 450000, 430000), AmortizationB16: 1.56},
+	}
 	if mutate != nil {
 		mutate(es)
+	}
+	if mutateBatch != nil {
+		mutateBatch(bs)
 	}
 	b := serveBaseline{
 		Benchmark: "BenchmarkServe* (internal/serve)",
@@ -27,6 +51,9 @@ func fullServe(t *testing.T, mutate func(map[string]*serveEntry)) string {
 	for _, name := range []string{"estimate", "pack", "unpack"} {
 		if e := es[name]; e != nil {
 			b.Endpoints = append(b.Endpoints, *e)
+		}
+		if e := bs[name]; e != nil {
+			b.Batch = append(b.Batch, *e)
 		}
 	}
 	raw, err := json.Marshal(b)
@@ -73,6 +100,58 @@ func TestValidateServeBaselines(t *testing.T) {
 		}
 	}
 
+	batchCases := []struct {
+		name    string
+		mutate  func(map[string]*serveBatchEntry)
+		wantErr string
+	}{
+		{"missing batch endpoint", func(bs map[string]*serveBatchEntry) {
+			bs["unpack"] = nil
+		}, `missing required batch endpoint "unpack"`},
+		{"missing batch bench", func(bs map[string]*serveBatchEntry) {
+			bs["pack"].Bench = ""
+		}, "missing bench"},
+		{"missing batch size", func(bs map[string]*serveBatchEntry) {
+			bs["pack"].Results = bs["pack"].Results[:3]
+		}, "missing result for batch=64"},
+		{"zero per-item ns", func(bs map[string]*serveBatchEntry) {
+			bs["unpack"].Results[0].NsPerItem = 0
+		}, "ns_per_item must be > 0"},
+		{"per-item cost rises", func(bs map[string]*serveBatchEntry) {
+			bs["unpack"].Results[3].NsPerItem = 600000 // b64 jumps 33% over b16
+		}, "per-item cost rises"},
+		{"inconsistent amortization", func(bs map[string]*serveBatchEntry) {
+			bs["estimate"].AmortizationB16 = 2.0
+		}, "inconsistent with b1/b16 per-item ratio"},
+		{"amortization below own floor", func(bs map[string]*serveBatchEntry) {
+			bs["estimate"].Results = batchResults(51200, 30000, 25600, 23000)
+			bs["estimate"].AmortizationB16 = 2.0
+		}, "below the 3.0x floor"},
+		{"estimate floor dropped", func(bs map[string]*serveBatchEntry) {
+			bs["estimate"].AmortizationFloor = 1.5
+		}, "below the required 3.0x"},
+	}
+	for _, tc := range batchCases {
+		err := validate([]byte(fullServeWithBatch(t, nil, tc.mutate)))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// A serve baseline with no batch section at all predates the /v1/*-many
+	// endpoints and must be re-recorded.
+	noBatch := fullServeWithBatch(t, nil, func(bs map[string]*serveBatchEntry) {
+		for name := range bs {
+			bs[name] = nil
+		}
+	})
+	if err := validate([]byte(noBatch)); err == nil || !strings.Contains(err.Error(), `missing required section "batch"`) {
+		t.Errorf("batchless baseline: err = %v", err)
+	}
+
 	// Duplicate endpoints and a zero-core runner are rejected too.
 	dup := strings.Replace(fullServe(t, nil), `"name":"pack"`, `"name":"estimate"`, 1)
 	if err := validate([]byte(dup)); err == nil || !strings.Contains(err.Error(), "duplicate entry") {
@@ -105,6 +184,66 @@ func TestParseServeBenchLine(t *testing.T) {
 			t.Errorf("parseServeBenchLine(%q) = (%q, %q, %v, %v), want (%q, %q, %v, %v)",
 				tc.line, name, role, v, ok, tc.name, tc.role, tc.v, tc.ok)
 		}
+	}
+}
+
+func TestParseServeBatchBenchLine(t *testing.T) {
+	cases := []struct {
+		line       string
+		name, role string
+		v          float64
+		ok         bool
+	}{
+		{"BenchmarkServeBatchEstimate/b1-8     300    51200 ns/op", "estimate_batch16", "before", 51200, true},
+		{"BenchmarkServeBatchEstimate/b16-8    300   256000 ns/op", "estimate_batch16", "after", 16000, true},
+		{"BenchmarkServeBatchUnpack/b16        100  7200000 ns/op", "unpack_batch16", "after", 450000, true},
+		// b4/b64 points are recorded in the baseline, not paired in -deltas.
+		{"BenchmarkServeBatchEstimate/b4-8     300    80000 ns/op", "", "", 0, false},
+		{"BenchmarkServeBatchEstimate/b64-8    300   800000 ns/op", "", "", 0, false},
+		{"BenchmarkServeBatchEstimate/http-8   300    51200 ns/op", "", "", 0, false},
+		{"BenchmarkServeEstimate/http-8       5425   207631 ns/op", "", "", 0, false},
+	}
+	for _, tc := range cases {
+		name, role, v, ok := parseServeBatchBenchLine(tc.line)
+		if ok != tc.ok || name != tc.name || role != tc.role || v != tc.v {
+			t.Errorf("parseServeBatchBenchLine(%q) = (%q, %q, %v, %v), want (%q, %q, %v, %v)",
+				tc.line, name, role, v, ok, tc.name, tc.role, tc.v, tc.ok)
+		}
+	}
+}
+
+func TestRunDeltasBatchFloor(t *testing.T) {
+	// The amortization floor is absolute: it gates with no baseline given.
+	healthy := `
+BenchmarkServeBatchEstimate/b1-8     300    51200 ns/op
+BenchmarkServeBatchEstimate/b16-8    300   256000 ns/op
+PASS
+`
+	var sb strings.Builder
+	if err := runDeltas(strings.NewReader(healthy), &sb, "", 1); err != nil {
+		t.Fatalf("healthy batch run rejected: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "estimate_batch16") || !strings.Contains(sb.String(), "3.0x floor") {
+		t.Fatalf("delta table missing the gated batch pair:\n%s", sb.String())
+	}
+
+	// Per-item cost at b16 only 2x below b1 → below the 3x floor.
+	flat := strings.Replace(healthy, " 256000 ns/op", " 409600 ns/op", 1)
+	sb.Reset()
+	err := runDeltas(strings.NewReader(flat), &sb, "", 1)
+	if err == nil || !strings.Contains(err.Error(), "below the 3.0x floor") {
+		t.Fatalf("flat batch curve: err = %v, want floor failure", err)
+	}
+
+	// Unpack has no absolute floor: a modest curve passes on its own.
+	unpackOnly := `
+BenchmarkServeBatchUnpack/b1-8       300   700000 ns/op
+BenchmarkServeBatchUnpack/b16-8     100  10400000 ns/op
+PASS
+`
+	sb.Reset()
+	if err := runDeltas(strings.NewReader(unpackOnly), &sb, "", 1); err != nil {
+		t.Fatalf("floorless batch pair rejected: %v\n%s", err, sb.String())
 	}
 }
 

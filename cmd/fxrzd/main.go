@@ -6,6 +6,9 @@
 //	POST /v1/estimate?model=ID&target=N   features (JSON) or field sample -> knob
 //	POST /v1/pack?model=ID&target=N       fxrzfield container -> compressed stream
 //	POST /v1/unpack                       compressed stream -> fxrzfield container
+//	POST /v1/estimate-many, /v1/pack-many, /v1/unpack-many
+//	                                      batch containers: many items, one
+//	                                      admission ticket, per-item statuses
 //	GET  /v1/models                       model inventory
 //	GET  /healthz                         liveness + admission state
 //	GET  /metrics                         obs snapshot (per-endpoint p50/p90/p99)
@@ -68,6 +71,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.cfg.Parallelism, "parallelism", 0, "total intra-field worker budget (0 = all cores, 1 = serial)")
 	fs.Float64Var(&o.cfg.RatePerClient, "rate", 0, "per-client request budget on heavy endpoints in req/s (0 = no rate limiting)")
 	fs.IntVar(&o.cfg.RateBurst, "rate-burst", 0, "per-client token-bucket burst (0 = ceil of -rate)")
+	fs.IntVar(&o.cfg.MaxBatch, "max-batch", 64, "max items per /v1/*-many batch request (larger batches get 413)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
 	fs.StringVar(&o.obsJSON, "obs-json", "", "write an observability snapshot (JSON) to this file on exit")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this extra address")
@@ -97,6 +101,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.cfg.RateBurst < 0 {
 		return o, fmt.Errorf("-rate-burst must be >= 0 (0 = ceil of -rate), got %d", o.cfg.RateBurst)
+	}
+	if o.cfg.MaxBatch < 1 {
+		return o, fmt.Errorf("-max-batch must be >= 1, got %d", o.cfg.MaxBatch)
 	}
 	return o, nil
 }

@@ -27,6 +27,19 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.cfg.RatePerClient != 0 || o.cfg.RateBurst != 0 {
 		t.Errorf("rate limiting on by default: rate=%g burst=%d", o.cfg.RatePerClient, o.cfg.RateBurst)
 	}
+	if o.cfg.MaxBatch != 64 {
+		t.Errorf("max-batch default = %d, want 64", o.cfg.MaxBatch)
+	}
+}
+
+func TestParseFlagsMaxBatch(t *testing.T) {
+	o, err := parseFlags([]string{"-models", t.TempDir(), "-max-batch", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.MaxBatch != 8 {
+		t.Errorf("max-batch = %d, want 8", o.cfg.MaxBatch)
+	}
 }
 
 func TestParseFlagsRate(t *testing.T) {
@@ -51,6 +64,7 @@ func TestParseFlagsRejections(t *testing.T) {
 		"zero drain":           {"-models", dir, "-drain", "0s"},
 		"negative rate":        {"-models", dir, "-rate", "-1"},
 		"negative rate burst":  {"-models", dir, "-rate-burst", "-3"},
+		"zero max-batch":       {"-models", dir, "-max-batch", "0"},
 	}
 	for name, args := range cases {
 		if _, err := parseFlags(args); err == nil {

@@ -15,8 +15,11 @@
 // daemon required. -rate, -max-inflight and -parallelism shape that server.
 //
 // The mix is -mix "estimate:unpack:pack" weights; -region-frac turns that
-// fraction of unpack requests into region (partial) decodes. Each worker is
-// its own rate-limiter client (load-<n> via X-Fxrz-Client). The summary is
+// fraction of unpack requests into region (partial) decodes. -batch N (N > 1)
+// aims the same mix at the /v1/*-many endpoints, N items per request, and
+// records amortized per-item latencies — the knob that measures how much
+// batching buys under the same concurrency. Each worker is its own
+// rate-limiter client (load-<n> via X-Fxrz-Client). The summary is
 // written as a benchguard-validated load baseline (-out), optionally with
 // per-request samples as CSV (-csv); -p99-caps and -shed-cap are recorded
 // into the baseline so the gate travels with the measurement.
@@ -44,6 +47,7 @@ import (
 	"time"
 
 	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/batch"
 	"github.com/fxrz-go/fxrz/internal/datagen"
 	"github.com/fxrz-go/fxrz/internal/fieldio"
 	"github.com/fxrz-go/fxrz/internal/serve"
@@ -154,6 +158,7 @@ type options struct {
 	rate        float64
 	maxInFlight int
 	parallelism int
+	batch       int
 }
 
 // parseFlags validates the command line into options.
@@ -179,6 +184,7 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.rate, "rate", 0, "selfserve: per-client rate limit in req/s (0 = off)")
 	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "selfserve: admission slots (0 = worker budget)")
 	fs.IntVar(&o.parallelism, "parallelism", 0, "selfserve: intra-field worker budget (0 = all cores, 1 = serial)")
+	fs.IntVar(&o.batch, "batch", 1, "items per request: > 1 drives the /v1/*-many batch endpoints with amortized per-item latencies")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -231,6 +237,9 @@ func parseFlags(args []string) (options, error) {
 	if o.rate < 0 || o.maxInFlight < 0 || o.parallelism < 0 {
 		return o, fmt.Errorf("-rate, -max-inflight and -parallelism must be >= 0")
 	}
+	if o.batch < 1 {
+		return o, fmt.Errorf("-batch must be >= 1, got %d", o.batch)
+	}
 	return o, nil
 }
 
@@ -277,11 +286,16 @@ func startSelfServe(o options, stderr io.Writer) (base string, fw *fxrz.Framewor
 		cleanupDir()
 		return "", nil, nil, err
 	}
+	maxBatch := 64
+	if o.batch > maxBatch {
+		maxBatch = o.batch
+	}
 	s := serve.NewServer(serve.Config{
 		ModelsDir:     dir,
 		MaxInFlight:   o.maxInFlight,
 		Parallelism:   o.parallelism,
 		RatePerClient: o.rate,
+		MaxBatch:      maxBatch,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -336,6 +350,54 @@ func warmupPack(client *http.Client, packURL string, body []byte) ([]byte, error
 		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(blob))
 	}
 	return blob, nil
+}
+
+// doBatchRequest sends n copies of body as one /v1/*-many container and
+// returns one sample per item with the request latency amortized across them.
+// A refused batch (shed, 413, transport failure) yields n samples carrying
+// the outer status so batch-mode shed accounting stays per-item.
+func doBatchRequest(client *http.Client, ep int, url, clientID string, body []byte, n int) []sample {
+	items := make([]batch.Item, n)
+	for i := range items {
+		items[i] = batch.Item{ID: uint64(i), Payload: body}
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(batch.EncodeRequest(items)))
+	if err != nil {
+		return repeatSample(sample{ep: uint8(ep)}, n)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(serve.ClientHeader, clientID)
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	us := time.Since(t0).Microseconds()
+	perItem := us / int64(n)
+	if err != nil {
+		return repeatSample(sample{ep: uint8(ep), us: perItem}, n)
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	perItem = time.Since(t0).Microseconds() / int64(n)
+	if resp.StatusCode != http.StatusOK || err != nil {
+		return repeatSample(sample{ep: uint8(ep), status: resp.StatusCode, us: perItem}, n)
+	}
+	results, err := batch.DecodeResponse(respBody)
+	if err != nil || len(results) != n {
+		return repeatSample(sample{ep: uint8(ep), us: perItem}, n)
+	}
+	out := make([]sample, n)
+	for i, r := range results {
+		out[i] = sample{ep: uint8(ep), status: r.Status, us: perItem}
+	}
+	return out
+}
+
+// repeatSample fills a batch-wide outcome across its n items.
+func repeatSample(s sample, n int) []sample {
+	out := make([]sample, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
 }
 
 // doRequest sends one POST and returns its outcome sample.
@@ -462,11 +524,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		target = lo + 0.5*(hi-lo)
 	}
 
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.concurrency + 2}}
+	// Keep-alive pool sized to the worker count: with the default transport
+	// (MaxIdleConnsPerHost 2) most workers would re-dial per request and the
+	// measured latencies would include connection setup, not serving.
+	idle := o.concurrency + 2
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * idle,
+		MaxIdleConnsPerHost: idle,
+	}}
 	packURL := fmt.Sprintf("%s/v1/pack?model=%s&target=%g", base, o.model, target)
 	estimateURL := fmt.Sprintf("%s/v1/estimate?model=%s&target=%g", base, o.model, target)
 	unpackURL := base + "/v1/unpack"
 	regionURL := unpackURL + "?region=" + regionQuery(f.Dims)
+	// Batch mode drives the same mix through the /v1/*-many endpoints.
+	packManyURL := fmt.Sprintf("%s/v1/pack-many?model=%s&target=%g", base, o.model, target)
+	estimateManyURL := fmt.Sprintf("%s/v1/estimate-many?model=%s&target=%g", base, o.model, target)
+	unpackManyURL := base + "/v1/unpack-many"
+	regionManyURL := unpackManyURL + "?region=" + regionQuery(f.Dims)
 	blob, err := warmupPack(client, packURL, fieldBytes)
 	if err != nil {
 		return fmt.Errorf("warmup pack: %w", err)
@@ -488,21 +562,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 			clientID := fmt.Sprintf("load-%d", w)
 			var out []sample
 			for time.Now().Before(deadline) {
-				var s sample
-				switch ep := o.mix.pick(rng); ep {
-				case epEstimate:
-					s = doRequest(client, ep, estimateURL, clientID, fieldBytes)
-				case epUnpack:
-					url := unpackURL
-					if rng.Float64() < o.regionFrac {
-						url = regionURL
+				var last sample
+				if o.batch > 1 {
+					var batched []sample
+					switch ep := o.mix.pick(rng); ep {
+					case epEstimate:
+						batched = doBatchRequest(client, ep, estimateManyURL, clientID, fieldBytes, o.batch)
+					case epUnpack:
+						url := unpackManyURL
+						if rng.Float64() < o.regionFrac {
+							url = regionManyURL
+						}
+						batched = doBatchRequest(client, ep, url, clientID, blob, o.batch)
+					case epPack:
+						batched = doBatchRequest(client, ep, packManyURL, clientID, fieldBytes, o.batch)
 					}
-					s = doRequest(client, ep, url, clientID, blob)
-				case epPack:
-					s = doRequest(client, ep, packURL, clientID, fieldBytes)
+					out = append(out, batched...)
+					last = batched[len(batched)-1]
+				} else {
+					switch ep := o.mix.pick(rng); ep {
+					case epEstimate:
+						last = doRequest(client, ep, estimateURL, clientID, fieldBytes)
+					case epUnpack:
+						url := unpackURL
+						if rng.Float64() < o.regionFrac {
+							url = regionURL
+						}
+						last = doRequest(client, ep, url, clientID, blob)
+					case epPack:
+						last = doRequest(client, ep, packURL, clientID, fieldBytes)
+					}
+					out = append(out, last)
 				}
-				out = append(out, s)
-				if s.status == http.StatusTooManyRequests {
+				if last.status == http.StatusTooManyRequests {
 					// Shed or rate-limited: back off instead of busy-spinning.
 					time.Sleep(5 * time.Millisecond)
 				}
@@ -582,7 +674,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if o.outPath != "" {
-		note := fmt.Sprintf("single-run percentiles from fxrzload (mix %s, concurrency %d); shared hardware, treat absolute latencies as indicative", o.mix.raw, o.concurrency)
+		note := fmt.Sprintf("single-run percentiles from fxrzload (mix %s, concurrency %d); http keep-alive transport with MaxIdleConnsPerHost=%d (>= %d workers, no per-request re-dial); shared hardware, treat absolute latencies as indicative", o.mix.raw, o.concurrency, idle, o.concurrency)
+		if o.batch > 1 {
+			note += fmt.Sprintf("; batch=%d via /v1/*-many, latencies amortized per item", o.batch)
+		}
 		if o.note != "" {
 			note += "; " + o.note
 		}

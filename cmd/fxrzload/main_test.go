@@ -32,6 +32,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.target != 0 || o.rate != 0 || o.shedCap != 0 {
 		t.Errorf("defaults = %+v", o)
 	}
+	if o.batch != 1 {
+		t.Errorf("default batch = %d, want 1 (single-request mode)", o.batch)
+	}
 }
 
 func TestParseFlagsRejections(t *testing.T) {
@@ -56,6 +59,7 @@ func TestParseFlagsRejections(t *testing.T) {
 		"negative max-inflight":  {"-selfserve", "-max-inflight", "-1"},
 		"negative parallelism":   {"-selfserve", "-parallelism", "-1"},
 		"negative selfserv rate": {"-selfserve", "-rate", "-1"},
+		"zero batch":             {"-selfserve", "-batch", "0"},
 	}
 	for name, args := range cases {
 		if _, err := parseFlags(args); err == nil {
@@ -221,5 +225,41 @@ func TestEndToEndSelfServe(t *testing.T) {
 	}
 	if strings.Join(rows[0], ",") != "endpoint,status,latency_us" {
 		t.Errorf("csv header = %v", rows[0])
+	}
+}
+
+// TestEndToEndSelfServeBatch drives the same harness through the /v1/*-many
+// endpoints: every request carries -batch items, so the per-item sample count
+// is a multiple of the batch size and the runner note records the mode.
+func TestEndToEndSelfServeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and drives load")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	const batchN = 4
+	err := run([]string{
+		"-selfserve", "-duration", "300ms", "-concurrency", "2",
+		"-size", "16", "-max-inflight", "4", "-seed", "7",
+		"-mix", "60:20:20", "-batch", "4", "-out", out,
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.Requests == 0 || rep.Load.OK == 0 || rep.Load.Errors != 0 {
+		t.Fatalf("batch run not clean: %+v", rep.Load)
+	}
+	if rep.Load.Requests%batchN != 0 {
+		t.Errorf("per-item samples = %d, not a multiple of batch %d", rep.Load.Requests, batchN)
+	}
+	if !strings.Contains(rep.Runner.Note, "batch=4") || !strings.Contains(rep.Runner.Note, "MaxIdleConnsPerHost") {
+		t.Errorf("runner note does not record the batch mode and transport: %q", rep.Runner.Note)
 	}
 }

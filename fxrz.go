@@ -375,6 +375,18 @@ func LoadBricks(c Compressor, blob []byte) (*BrickStore, error) {
 	return brick.Unmarshal(c, blob)
 }
 
+// BrickSet is an ordered collection of brick stores sharing one field
+// geometry — a time window or ensemble — read through one region plan. See
+// OpenBrickSet.
+type BrickSet = brick.Set
+
+// OpenBrickSet restores a set from marshaled brick-store blobs, detecting
+// each member's codec from its streams. It backs the serving layer's
+// multi-field region reads (/v1/unpack-many with ?region=).
+func OpenBrickSet(blobs ...[]byte) (*BrickSet, error) {
+	return brick.OpenSet(roi.ResolveCodec, blobs...)
+}
+
 // BrickToRatio estimates the knob for the target overall ratio and builds a
 // random-access brick store at that knob — fixed-ratio compression that can
 // be read region by region.

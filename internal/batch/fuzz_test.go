@@ -1,0 +1,54 @@
+package batch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBatchContainer drives the request decoder with arbitrary bytes and,
+// when they parse, requires a re-encode of the decoded items to parse back
+// to the same thing — the decoder must never accept a frame it cannot
+// canonically represent. Interesting corpus entries are valid containers
+// (added as seeds) whose mutations exercise the CRC and length guards.
+func FuzzBatchContainer(f *testing.F) {
+	f.Add(EncodeRequest([]Item{{ID: 1, Params: "model=nyx-sz&target=8", Payload: []byte("fxrzfield x 4\n")}}))
+	f.Add(EncodeRequest([]Item{{ID: 0}, {ID: 7, Payload: bytes.Repeat([]byte{0xB5}, 40)}}))
+	f.Add(EncodeResponse([]Result{{ID: 3, Status: 200, Payload: []byte("ok")}, {ID: 4, Status: 404}}))
+	f.Add([]byte{MagicRequest, Version, 1, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		if items, err := DecodeRequest(blob); err == nil {
+			again, err := DecodeRequest(EncodeRequest(items))
+			if err != nil {
+				t.Fatalf("re-encode of a decoded request failed to decode: %v", err)
+			}
+			requireSameItems(t, items, again)
+		}
+		if results, err := DecodeResponse(blob); err == nil {
+			again, err := DecodeResponse(EncodeResponse(results))
+			if err != nil {
+				t.Fatalf("re-encode of a decoded response failed to decode: %v", err)
+			}
+			if len(again) != len(results) {
+				t.Fatalf("response round trip: %d -> %d results", len(results), len(again))
+			}
+			for i := range results {
+				if again[i].ID != results[i].ID || again[i].Status != results[i].Status ||
+					!bytes.Equal(again[i].Payload, results[i].Payload) {
+					t.Fatalf("response result %d diverged on round trip", i)
+				}
+			}
+		}
+	})
+}
+
+func requireSameItems(t *testing.T, a, b []Item) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("request round trip: %d -> %d items", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Params != b[i].Params || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			t.Fatalf("request item %d diverged on round trip", i)
+		}
+	}
+}

@@ -103,23 +103,34 @@ func (s *Store) ReadBrick(i int) (*grid.Field, []int, error) {
 	return f, s.origins[i], nil
 }
 
-// ReadRegion reconstructs an arbitrary sub-box [origin, origin+shape),
-// decompressing only the bricks that intersect it.
-func (s *Store) ReadRegion(origin, shape []int) (*grid.Field, error) {
+// checkRegion validates a region request against the store geometry.
+func (s *Store) checkRegion(origin, shape []int) error {
 	nd := len(s.dims)
 	if len(origin) != nd || len(shape) != nd {
-		return nil, errors.New("brick: origin/shape dimensionality mismatch")
+		return errors.New("brick: origin/shape dimensionality mismatch")
 	}
 	for d := 0; d < nd; d++ {
 		if origin[d] < 0 || shape[d] <= 0 || origin[d]+shape[d] > s.dims[d] {
-			return nil, fmt.Errorf("brick: region out of bounds in dim %d", d)
+			return fmt.Errorf("brick: region out of bounds in dim %d", d)
 		}
 	}
-	out, err := grid.New(s.name+"/region", shape...)
-	if err != nil {
-		return nil, err
+	return nil
+}
+
+// VisitRegion decodes each brick intersecting [origin, origin+shape) and
+// calls fn once per brick with the brick's global origin and a
+// zero-allocation iterator (grid.RegionIter) positioned over the
+// intersection in the brick's local coordinates — global coordinate =
+// iterator coordinate + brickOrigin. This is the streaming spine under
+// ReadRegion, for callers that aggregate or forward samples rather than
+// materialise the sub-box. fn returning an error stops the walk.
+func (s *Store) VisitRegion(origin, shape []int, fn func(brickOrigin []int, it *grid.RegionIter) error) error {
+	if err := s.checkRegion(origin, shape); err != nil {
+		return err
 	}
-	outStrides := out.Strides()
+	nd := len(s.dims)
+	lo := make([]int, nd)
+	hi := make([]int, nd)
 	touched := 0
 	for i := range s.blobs {
 		if !intersects(s.origins[i], s.shapes[i], origin, shape) {
@@ -127,16 +138,55 @@ func (s *Store) ReadRegion(origin, shape []int) (*grid.Field, error) {
 		}
 		bf, borigin, err := s.ReadBrick(i)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		touched++
-		copyIntersection(out, origin, outStrides, bf, borigin)
+		// Clip the request to this brick, in brick-local coordinates.
+		for d := 0; d < nd; d++ {
+			lo[d] = maxI(origin[d], borigin[d]) - borigin[d]
+			hi[d] = minI(origin[d]+shape[d], borigin[d]+bf.Dims[d]) - borigin[d]
+		}
+		it, err := bf.IterRegion(lo, hi)
+		if err != nil {
+			return fmt.Errorf("brick: brick %d intersection: %w", i, err)
+		}
+		if err := fn(borigin, it); err != nil {
+			return err
+		}
 	}
 	if touched == 0 {
-		return nil, errors.New("brick: region matched no bricks (corrupt index)")
+		return errors.New("brick: region matched no bricks (corrupt index)")
 	}
 	obs.Add("brick/region_bricks_read", int64(touched))
 	obs.Add("brick/region_bricks_skipped", int64(len(s.blobs)-touched))
+	return nil
+}
+
+// ReadRegion reconstructs an arbitrary sub-box [origin, origin+shape),
+// decompressing only the bricks that intersect it.
+func (s *Store) ReadRegion(origin, shape []int) (*grid.Field, error) {
+	if err := s.checkRegion(origin, shape); err != nil {
+		return nil, err
+	}
+	out, err := grid.New(s.name+"/region", shape...)
+	if err != nil {
+		return nil, err
+	}
+	outStrides := out.Strides()
+	err = s.VisitRegion(origin, shape, func(borigin []int, it *grid.RegionIter) error {
+		for it.Next() {
+			c := it.Coord()
+			oi := 0
+			for d := range c {
+				oi += (c[d] + borigin[d] - origin[d]) * outStrides[d]
+			}
+			out.Data[oi] = it.Value()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -147,21 +197,10 @@ func (s *Store) ReadRegion(origin, shape []int) (*grid.Field, error) {
 // itself the persisted index, so the ranges are derived rather than stored
 // twice.
 func (s *Store) RegionByteRanges(origin, shape []int) ([][2]int, error) {
-	nd := len(s.dims)
-	if len(origin) != nd || len(shape) != nd {
-		return nil, errors.New("brick: origin/shape dimensionality mismatch")
+	if err := s.checkRegion(origin, shape); err != nil {
+		return nil, err
 	}
-	for d := 0; d < nd; d++ {
-		if origin[d] < 0 || shape[d] <= 0 || origin[d]+shape[d] > s.dims[d] {
-			return nil, fmt.Errorf("brick: region out of bounds in dim %d", d)
-		}
-	}
-	off := 8 + 1 + len(s.name)%256 + 1
-	for _, d := range s.dims {
-		off += uvarintLen(uint64(d))
-	}
-	off += uvarintLen(uint64(s.brickSide))
-	off += uvarintLen(uint64(len(s.blobs)))
+	off := s.headerSize()
 	var ranges [][2]int
 	for i, b := range s.blobs {
 		n := uvarintLen(uint64(len(b))) + len(b)
@@ -171,6 +210,29 @@ func (s *Store) RegionByteRanges(origin, shape []int) ([][2]int, error) {
 		off += n
 	}
 	return ranges, nil
+}
+
+// headerSize returns the byte length of the Marshal header (everything
+// before the first brick stream's length varint).
+func (s *Store) headerSize() int {
+	n := 8 + 1 + len(s.name)%256 + 1
+	for _, d := range s.dims {
+		n += uvarintLen(uint64(d))
+	}
+	n += uvarintLen(uint64(s.brickSide))
+	n += uvarintLen(uint64(len(s.blobs)))
+	return n
+}
+
+// MarshaledSize returns len(s.Marshal()) without building the bytes — the
+// set-level byte-range planner uses it to offset each member's ranges into
+// the concatenated layout.
+func (s *Store) MarshaledSize() int {
+	n := s.headerSize()
+	for _, b := range s.blobs {
+		n += uvarintLen(uint64(len(b))) + len(b)
+	}
+	return n
 }
 
 func uvarintLen(v uint64) int {
@@ -200,40 +262,6 @@ func intersects(ao, as, bo, bs []int) bool {
 		}
 	}
 	return true
-}
-
-// copyIntersection copies the overlap of a brick into the output region.
-func copyIntersection(out *grid.Field, regionOrigin, outStrides []int, brick *grid.Field, brickOrigin []int) {
-	nd := len(regionOrigin)
-	lo := make([]int, nd)
-	hi := make([]int, nd)
-	for d := 0; d < nd; d++ {
-		lo[d] = maxI(brickOrigin[d], regionOrigin[d])
-		hi[d] = minI(brickOrigin[d]+brick.Dims[d], regionOrigin[d]+out.Dims[d])
-	}
-	brickStrides := brick.Strides()
-	coord := make([]int, nd)
-	copy(coord, lo)
-	for {
-		bi, oi := 0, 0
-		for d := 0; d < nd; d++ {
-			bi += (coord[d] - brickOrigin[d]) * brickStrides[d]
-			oi += (coord[d] - regionOrigin[d]) * outStrides[d]
-		}
-		out.Data[oi] = brick.Data[bi]
-		d := nd - 1
-		for d >= 0 {
-			coord[d]++
-			if coord[d] < hi[d] {
-				break
-			}
-			coord[d] = lo[d]
-			d--
-		}
-		if d < 0 {
-			return
-		}
-	}
 }
 
 // Marshal serialises the store (index + streams) for persistence.

@@ -1,0 +1,124 @@
+// Set: the unified multi-brick read path. A Set holds several Stores of the
+// same field geometry — successive time steps, ensemble members, or the
+// fields of one multi-field snapshot — and serves one region plan across all
+// of them: validate the region once, plan the byte ranges once per store
+// against the concatenated persisted layout, decode only the bricks the
+// region intersects in each store. It is the serving tier's backing for
+// /v1/unpack-many with ?region=: one request, one plan, many bricked fields.
+package brick
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// Set is an ordered collection of brick stores sharing one field geometry.
+// Create with NewSet or OpenSet; the zero value is not usable.
+type Set struct {
+	stores []*Store
+}
+
+// NewSet builds a set over stores, which must be non-empty and agree on
+// dimensions — a region plan is only meaningful across identical geometry.
+func NewSet(stores ...*Store) (*Set, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("brick: empty set")
+	}
+	dims := stores[0].dims
+	for i, st := range stores[1:] {
+		if !sameDims(st.dims, dims) {
+			return nil, fmt.Errorf("brick: set member %d has dims %v, want %v", i+1, st.dims, dims)
+		}
+	}
+	return &Set{stores: append([]*Store(nil), stores...)}, nil
+}
+
+// OpenSet restores a set from marshaled store blobs, detecting each store's
+// codec from its first brick stream via resolve (use roi.ResolveCodec).
+func OpenSet(resolve func(magic byte) (compress.Compressor, error), blobs ...[]byte) (*Set, error) {
+	stores := make([]*Store, len(blobs))
+	for i, blob := range blobs {
+		st, err := UnmarshalAuto(resolve, blob)
+		if err != nil {
+			return nil, fmt.Errorf("brick: set member %d: %w", i, err)
+		}
+		stores[i] = st
+	}
+	return NewSet(stores...)
+}
+
+// Len returns the number of stores in the set.
+func (s *Set) Len() int { return len(s.stores) }
+
+// Store returns set member m.
+func (s *Set) Store(m int) *Store { return s.stores[m] }
+
+// Dims returns the shared field geometry.
+func (s *Set) Dims() []int { return s.stores[0].Dims() }
+
+// ReadRegion reconstructs [origin, origin+shape) from set member m,
+// decompressing only the bricks the region intersects.
+func (s *Set) ReadRegion(m int, origin, shape []int) (*grid.Field, error) {
+	if m < 0 || m >= len(s.stores) {
+		return nil, fmt.Errorf("brick: set member %d out of range [0, %d)", m, len(s.stores))
+	}
+	return s.stores[m].ReadRegion(origin, shape)
+}
+
+// ReadRegionAll reconstructs the same region from every member, in set
+// order. The region is validated once; per-member decode work is the
+// caller's to parallelise (the serving tier fans members out through its
+// worker budget).
+func (s *Set) ReadRegionAll(origin, shape []int) ([]*grid.Field, error) {
+	if err := s.stores[0].checkRegion(origin, shape); err != nil {
+		return nil, err
+	}
+	out := make([]*grid.Field, len(s.stores))
+	for m, st := range s.stores {
+		f, err := st.ReadRegion(origin, shape)
+		if err != nil {
+			return nil, fmt.Errorf("brick: set member %d: %w", m, err)
+		}
+		out[m] = f
+	}
+	return out, nil
+}
+
+// RegionByteRanges plans the byte ranges a region read touches across the
+// whole set, in the concatenated persisted layout (member 0's Marshal bytes,
+// then member 1's, ...). A reader holding that concatenation — the sharded
+// brick file the roadmap points at — fetches exactly these ranges and
+// nothing else. Ranges are returned per member, already offset by the
+// preceding members' marshaled sizes.
+func (s *Set) RegionByteRanges(origin, shape []int) ([][][2]int, error) {
+	out := make([][][2]int, len(s.stores))
+	base := 0
+	for m, st := range s.stores {
+		ranges, err := st.RegionByteRanges(origin, shape)
+		if err != nil {
+			return nil, fmt.Errorf("brick: set member %d: %w", m, err)
+		}
+		for i := range ranges {
+			ranges[i][0] += base
+			ranges[i][1] += base
+		}
+		out[m] = ranges
+		base += st.MarshaledSize()
+	}
+	return out, nil
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if a[d] != b[d] {
+			return false
+		}
+	}
+	return true
+}

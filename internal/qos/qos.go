@@ -149,51 +149,107 @@ func distributeReserves(budget int, classes []Class) []int {
 // other class's unused guarantee (a borrowed slot must never be one a
 // guarantee will need). A false return means shed — the caller should answer
 // 429 and must not Release.
-func (c *Controller) TryAcquire(i int) bool {
+func (c *Controller) TryAcquire(i int) bool { return c.TryAcquireN(i, 1) }
+
+// TryAcquireN claims n slots for class i in one admission decision — the
+// batch endpoints' cost-based ticket, where n is the weighted item count of
+// the batch. The invariant check is the n-slot generalisation of TryAcquire:
+// admit only if, after taking all n slots, the free slots still cover every
+// class's unused guarantee (class i's own included, recomputed at its new
+// in-flight count). For n = 1 this reduces exactly to the single-slot rule:
+// a class below its reserve is always admitted, and borrowing never takes a
+// slot a guarantee will need. All n slots are admitted or none are — a batch
+// never holds a partial ticket. Slots of the n beyond the class's reserve
+// count as borrowed in the obs metrics.
+func (c *Controller) TryAcquireN(i, n int) bool {
+	if n < 1 {
+		panic(fmt.Sprintf("qos: TryAcquireN with n = %d for class %s", n, c.classes[i].Name))
+	}
 	name := c.classes[i].Name
 	c.mu.Lock()
 	free := c.capacity - c.total
-	if free <= 0 {
+	if free < n {
 		c.mu.Unlock()
 		obs.Inc("qos/shed/" + name)
 		return false
 	}
-	if c.inflight[i] >= c.reserve[i] {
-		needed := 0
-		for j := range c.classes {
-			if j != i && c.inflight[j] < c.reserve[j] {
-				needed += c.reserve[j] - c.inflight[j]
-			}
+	needed := 0
+	for j := range c.classes {
+		after := c.inflight[j]
+		if j == i {
+			after += n
 		}
-		if free-1 < needed {
-			c.mu.Unlock()
-			obs.Inc("qos/shed/" + name)
-			return false
+		if after < c.reserve[j] {
+			needed += c.reserve[j] - after
 		}
-		obs.Inc("qos/borrowed/" + name)
 	}
-	c.inflight[i]++
-	c.total++
+	if free-n < needed {
+		c.mu.Unlock()
+		obs.Inc("qos/shed/" + name)
+		return false
+	}
+	borrowed := borrowedOf(c.inflight[i], c.reserve[i], n)
+	c.inflight[i] += n
+	c.total += n
 	peak := int64(c.inflight[i])
 	c.mu.Unlock()
 	obs.Inc("qos/admitted/" + name)
-	obs.AddGauge("qos/inflight/"+name, 1)
+	if borrowed > 0 {
+		obs.Add("qos/borrowed/"+name, int64(borrowed))
+	}
+	obs.AddGauge("qos/inflight/"+name, int64(n))
 	obs.MaxGauge("qos/inflight_peak/"+name, peak)
 	return true
 }
 
+// borrowedOf counts how many of n newly admitted slots land beyond the
+// class's reserve at in-flight count inflight.
+func borrowedOf(inflight, reserve, n int) int {
+	b := inflight + n - reserve
+	if b > n {
+		b = n
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
 // Release returns a slot previously acquired for class i. Releasing a class
 // with nothing in flight panics, as that always indicates an accounting bug.
-func (c *Controller) Release(i int) {
+func (c *Controller) Release(i int) { c.ReleaseN(i, 1) }
+
+// ReleaseN returns the n slots of a batch ticket previously granted by
+// TryAcquireN. Releasing more than the class has in flight panics.
+func (c *Controller) ReleaseN(i, n int) {
 	c.mu.Lock()
-	if c.inflight[i] == 0 {
+	if n < 1 || c.inflight[i] < n {
 		c.mu.Unlock()
-		panic("qos: Release without matching TryAcquire for class " + c.classes[i].Name)
+		panic(fmt.Sprintf("qos: ReleaseN(%d) without matching slots for class %s", n, c.classes[i].Name))
 	}
-	c.inflight[i]--
-	c.total--
+	c.inflight[i] -= n
+	c.total -= n
 	c.mu.Unlock()
-	obs.AddGauge("qos/inflight/"+c.classes[i].Name, -1)
+	obs.AddGauge("qos/inflight/"+c.classes[i].Name, int64(-n))
+}
+
+// MaxCost returns the largest n TryAcquireN(i, n) could ever grant: the
+// capacity minus every other class's full reserve. A batch ticket above this
+// cost would violate the guarantee invariant even on an idle controller, so
+// callers clamp their cost here — the batch then only runs when the server
+// is quiet enough, instead of being permanently inadmissible.
+func (c *Controller) MaxCost(i int) int {
+	others := 0
+	for j := range c.classes {
+		if j != i {
+			others += c.reserve[j]
+		}
+	}
+	m := c.capacity - others
+	if m < 1 {
+		m = 1
+	}
+	return m
 }
 
 // Capacity returns the total slot count.

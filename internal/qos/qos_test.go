@@ -284,3 +284,138 @@ func TestStatus(t *testing.T) {
 	}
 	c.Release(1)
 }
+
+// TestBatchTicketArithmetic pins the n-slot admission rule on capacity 8
+// (reserves 2/1/1): a batch is admitted iff, after taking all n slots, free
+// still covers every class's unused guarantee.
+func TestBatchTicketArithmetic(t *testing.T) {
+	c := NewController(8, serveClasses)
+	// Idle: estimate may take up to capacity - other reserves = 8-2 = 6.
+	if got := c.MaxCost(0); got != 6 {
+		t.Fatalf("MaxCost(estimate) = %d, want 6", got)
+	}
+	if c.TryAcquireN(0, 7) {
+		t.Fatal("7-slot estimate batch admitted; it would eat unpack/pack guarantees")
+	}
+	if !c.TryAcquireN(0, 6) {
+		t.Fatal("6-slot estimate batch shed on an idle controller")
+	}
+	// 2 free, both owed to unpack and pack: no further estimate slot, but the
+	// guaranteed classes still get theirs.
+	if c.TryAcquire(0) {
+		t.Fatal("estimate admitted into slots owed to other guarantees")
+	}
+	if !c.TryAcquire(1) || !c.TryAcquire(2) {
+		t.Fatal("guaranteed classes shed while the invariant promised them slots")
+	}
+	c.ReleaseN(0, 6)
+	c.Release(1)
+	c.Release(2)
+	if c.Total() != 0 {
+		t.Fatalf("books unbalanced after releases: total = %d", c.Total())
+	}
+}
+
+// TestBatchTicketAllOrNothing checks a shed batch leaves no partial state.
+func TestBatchTicketAllOrNothing(t *testing.T) {
+	c := NewController(8, serveClasses)
+	if !c.TryAcquireN(1, 3) {
+		t.Fatal("3-slot unpack batch shed on an idle controller")
+	}
+	before := c.Total()
+	if c.TryAcquireN(1, 6) {
+		t.Fatal("6-slot unpack batch admitted with only 5 free")
+	}
+	if c.Total() != before || c.InFlight(1) != 3 {
+		t.Fatalf("shed batch changed the books: total %d->%d, inflight %d",
+			before, c.Total(), c.InFlight(1))
+	}
+	c.ReleaseN(1, 3)
+}
+
+// TestTryAcquireNMatchesSingles: a class's n-slot ticket is admitted exactly
+// when n consecutive single acquires would all be — the batch path must not
+// change admission semantics, only atomicity.
+func TestTryAcquireNMatchesSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a := NewController(8, serveClasses)
+		b := NewController(8, serveClasses)
+		// Put both controllers in the same random occupancy.
+		for k := 0; k < rng.Intn(8); k++ {
+			i := rng.Intn(len(serveClasses))
+			ra, rb := a.TryAcquire(i), b.TryAcquire(i)
+			if ra != rb {
+				t.Fatalf("trial %d: controllers diverged during setup", trial)
+			}
+		}
+		i, n := rng.Intn(len(serveClasses)), 1+rng.Intn(6)
+		singles := true
+		taken := 0
+		for k := 0; k < n; k++ {
+			if !a.TryAcquire(i) {
+				singles = false
+				break
+			}
+			taken++
+		}
+		if got := b.TryAcquireN(i, n); got != singles {
+			t.Fatalf("trial %d: TryAcquireN(%d, %d) = %v, %d singles said %v",
+				trial, i, n, got, n, singles)
+		}
+		_ = taken
+	}
+}
+
+func TestMaxCostFloorsAtOne(t *testing.T) {
+	// Capacity 2 gives estimate reserve 1 and the others 0; pack's MaxCost is
+	// capacity - 1 = 1. Nothing may ever report a max below one slot.
+	c := NewController(2, serveClasses)
+	for i := range serveClasses {
+		if got := c.MaxCost(i); got < 1 {
+			t.Errorf("MaxCost(%d) = %d, want >= 1", i, got)
+		}
+	}
+	if got := c.MaxCost(2); got != 1 {
+		t.Errorf("MaxCost(pack) = %d, want 1", got)
+	}
+}
+
+func TestReleaseNUnderflowPanics(t *testing.T) {
+	c := NewController(8, serveClasses)
+	if !c.TryAcquireN(0, 2) {
+		t.Fatal("setup acquire failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on ReleaseN beyond in-flight count")
+		}
+	}()
+	c.ReleaseN(0, 3)
+}
+
+func TestBatchBorrowedAccounting(t *testing.T) {
+	obs.Enable()
+	before := obs.TakeSnapshot()
+	c := NewController(8, serveClasses)
+	// unpack reserve is 1: a 3-slot ticket uses its 1 guaranteed slot and
+	// borrows 2.
+	if !c.TryAcquireN(1, 3) {
+		t.Fatal("3-slot unpack batch shed on an idle controller")
+	}
+	mid := obs.TakeSnapshot()
+	if got := mid.Counters["qos/borrowed/unpack"] - before.Counters["qos/borrowed/unpack"]; got != 2 {
+		t.Errorf("borrowed counter delta = %d, want 2", got)
+	}
+	if got := mid.Counters["qos/admitted/unpack"] - before.Counters["qos/admitted/unpack"]; got != 1 {
+		t.Errorf("admitted counter delta = %d, want 1 (one ticket, not three)", got)
+	}
+	if got := mid.Gauges["qos/inflight/unpack"] - before.Gauges["qos/inflight/unpack"]; got != 3 {
+		t.Errorf("inflight gauge delta = %d, want 3", got)
+	}
+	c.ReleaseN(1, 3)
+	after := obs.TakeSnapshot()
+	if got := after.Gauges["qos/inflight/unpack"] - before.Gauges["qos/inflight/unpack"]; got != 0 {
+		t.Errorf("inflight gauge delta after release = %d, want 0", got)
+	}
+}

@@ -92,7 +92,18 @@ func (l *Limiter) Enabled() bool { return l.cfg.Rate > 0 }
 // returns ok=false and the exact duration until a full token will have
 // refilled — the honest Retry-After for this client.
 func (l *Limiter) Allow(id string) (ok bool, retryAfter time.Duration) {
-	if !l.Enabled() {
+	return l.AllowN(id, 1)
+}
+
+// AllowN spends n tokens from id's bucket in one all-or-nothing decision —
+// the batch endpoints' charge, one token per item, so a 64-item batch draws
+// the same budget as 64 single requests instead of slipping past the limiter
+// as one. A refusal carries the exact duration until n tokens will have
+// refilled; when n exceeds the bucket's burst depth, that wait is computed
+// against the depth the bucket can actually reach, so the Retry-After stays
+// meaningful (the caller is expected to split the batch or be shed again).
+func (l *Limiter) AllowN(id string, n int) (ok bool, retryAfter time.Duration) {
+	if !l.Enabled() || n <= 0 {
 		return true, 0
 	}
 	now := l.now()
@@ -115,11 +126,15 @@ func (l *Limiter) Allow(id string) (ok bool, retryAfter time.Duration) {
 		}
 		b.last = now
 	}
-	if b.tokens >= 1 {
-		b.tokens--
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
 		return true, 0
 	}
-	deficit := 1 - b.tokens
+	// The bucket refills no deeper than Burst, so a demand beyond it waits
+	// for a full bucket — the closest the client can ever get.
+	target := math.Min(need, float64(l.cfg.Burst))
+	deficit := target - b.tokens
 	return false, time.Duration(deficit / l.cfg.Rate * float64(time.Second))
 }
 

@@ -203,3 +203,75 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatalf("resident clients = %d exceeds MaxClients", n)
 	}
 }
+
+// TestAllowNChargesPerItem pins the batch-endpoint contract: an N-item batch
+// draws N tokens, so it cannot slip past the limiter as one cheap request.
+func TestAllowNChargesPerItem(t *testing.T) {
+	l, clk := newTestLimiter(Config{Rate: 2, Burst: 8})
+	if ok, _ := l.AllowN("c", 6); !ok {
+		t.Fatal("6-token batch refused against a full 8-deep bucket")
+	}
+	// 2 tokens left: a 3-item batch must wait, all-or-nothing.
+	ok, retry := l.AllowN("c", 3)
+	if ok {
+		t.Fatal("3-token batch allowed with only 2 tokens left")
+	}
+	// Deficit is 1 token at 2/s: 500ms.
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 500ms", retry)
+	}
+	// The refusal must not have spent the remaining tokens.
+	if ok, _ := l.AllowN("c", 2); !ok {
+		t.Fatal("refused batch consumed tokens it was not granted")
+	}
+	clk.advance(time.Second)
+	if ok, _ := l.AllowN("c", 2); !ok {
+		t.Fatal("refill did not restore batch budget")
+	}
+}
+
+// TestAllowNBeyondBurst: a batch deeper than the bucket waits for a full
+// bucket — the closest state the client can reach — instead of reporting an
+// unreachable wait.
+func TestAllowNBeyondBurst(t *testing.T) {
+	l, _ := newTestLimiter(Config{Rate: 1, Burst: 4})
+	ok, retry := l.AllowN("c", 10)
+	if ok {
+		t.Fatal("10-token batch allowed against a 4-deep bucket")
+	}
+	// Bucket is full (4 tokens); target clamps to the 4-deep burst, so the
+	// deficit is zero and the wait is zero — the caller should split the
+	// batch rather than retry it whole.
+	if retry != 0 {
+		t.Fatalf("retryAfter = %v, want 0 for an already-full bucket", retry)
+	}
+	// A split into burst-sized pieces goes through.
+	if ok, _ := l.AllowN("c", 4); !ok {
+		t.Fatal("burst-sized batch refused against a full bucket")
+	}
+}
+
+func TestAllowNDegeneratesToAllow(t *testing.T) {
+	a, clkA := newTestLimiter(Config{Rate: 3, Burst: 3})
+	b, clkB := newTestLimiter(Config{Rate: 3, Burst: 3})
+	for step := 0; step < 12; step++ {
+		okA, retryA := a.Allow("c")
+		okB, retryB := b.AllowN("c", 1)
+		if okA != okB || retryA != retryB {
+			t.Fatalf("step %d: Allow=(%v,%v) AllowN(1)=(%v,%v)", step, okA, retryA, okB, retryB)
+		}
+		clkA.advance(100 * time.Millisecond)
+		clkB.advance(100 * time.Millisecond)
+	}
+}
+
+func TestAllowNDisabledAndNonPositive(t *testing.T) {
+	l, _ := newTestLimiter(Config{Rate: 1, Burst: 1})
+	if ok, _ := l.AllowN("c", 0); !ok {
+		t.Error("n=0 refused; a free decision must pass")
+	}
+	disabled := New(Config{Rate: 0})
+	if ok, _ := disabled.AllowN("c", 1000); !ok {
+		t.Error("disabled limiter refused a batch")
+	}
+}

@@ -44,7 +44,7 @@ func NewReader(blob []byte) (*Reader, error) {
 	}
 	r := &Reader{blob: blob}
 	if brick.IsStore(blob) {
-		st, err := brick.UnmarshalAuto(codecByMagic, blob)
+		st, err := brick.UnmarshalAuto(ResolveCodec, blob)
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +64,7 @@ func NewReader(blob []byte) (*Reader, error) {
 	if len(inner) == 0 {
 		return nil, fmt.Errorf("roi: %w: empty inner stream", compress.ErrCorrupt)
 	}
-	if _, err := codecByMagic(inner[0]); err != nil {
+	if _, err := ResolveCodec(inner[0]); err != nil {
 		return nil, err
 	}
 	h, _, err := compress.ParseHeader(inner, inner[0])
@@ -167,7 +167,7 @@ func (r *Reader) decodeBlock(coord []int) ([]float32, error) {
 // materialize runs the one-time full decode backing non-block streams.
 func (r *Reader) materialize() error {
 	if r.isBrick {
-		st, err := brick.UnmarshalAuto(codecByMagic, r.blob)
+		st, err := brick.UnmarshalAuto(ResolveCodec, r.blob)
 		if err != nil {
 			return err
 		}
@@ -178,7 +178,7 @@ func (r *Reader) materialize() error {
 		r.full = f
 		return nil
 	}
-	c, err := codecByMagic(r.inner[0])
+	c, err := ResolveCodec(r.inner[0])
 	if err != nil {
 		return err
 	}

@@ -95,8 +95,10 @@ func Unwrap(blob []byte) (inner, index []byte, err error) {
 	return inner, index, nil
 }
 
-// codecByMagic resolves a codec from its stream magic byte.
-func codecByMagic(magic byte) (compress.Compressor, error) {
+// ResolveCodec resolves a codec from its stream magic byte — the resolver
+// brick.UnmarshalAuto and brick.OpenSet take when the codec is not known out
+// of band.
+func ResolveCodec(magic byte) (compress.Compressor, error) {
 	switch magic {
 	case compress.MagicSZ:
 		return sz.New(), nil
@@ -164,7 +166,7 @@ func DecodeRegion(blob []byte, lo, hi []int, workers int) (*grid.Field, error) {
 		return nil, fmt.Errorf("roi: empty stream")
 	}
 	if brick.IsStore(blob) {
-		st, err := brick.UnmarshalAuto(codecByMagic, blob)
+		st, err := brick.UnmarshalAuto(ResolveCodec, blob)
 		if err != nil {
 			return nil, err
 		}
@@ -202,7 +204,7 @@ func DecodeRegion(blob []byte, lo, hi []int, workers int) (*grid.Field, error) {
 // seekable structure (sz2's per-block predictor selection shares sequential
 // reconstruction state; fpzip and mgard are whole-stream transforms).
 func decodeFullAndSlice(inner []byte, lo, hi []int, workers int) (*grid.Field, error) {
-	c, err := codecByMagic(inner[0])
+	c, err := ResolveCodec(inner[0])
 	if err != nil {
 		return nil, err
 	}

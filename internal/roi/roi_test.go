@@ -122,7 +122,7 @@ func TestDecodeRegionAllContainers(t *testing.T) {
 				var c interface {
 					Decompress([]byte) (*grid.Field, error)
 				}
-				c, err = codecByMagic(inner[0])
+				c, err = ResolveCodec(inner[0])
 				if err == nil {
 					full, err = c.Decompress(inner)
 				}
@@ -212,7 +212,7 @@ func TestReaderAtMatchesDecode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := codecByMagic(inner[0])
+		c, err := ResolveCodec(inner[0])
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,405 @@
+// Batch serving: the /v1/estimate-many, /v1/pack-many and /v1/unpack-many
+// endpoints. Each takes one batch request container (internal/batch, magic
+// 0xB5) of up to Config.MaxBatch items and answers one response container
+// with a per-item status — the per-request serving machinery (routing, rate
+// limit, admission, body transport) is paid once and amortised over the
+// batch, and one bad item fails alone instead of failing its neighbours.
+//
+// The serving disciplines generalise rather than bend:
+//
+//   - Rate limiting charges one token per item (ratelimit.AllowN), so a
+//     64-item batch draws the same per-client budget as 64 single calls.
+//   - Admission takes one QoS ticket whose cost is the weighted item count
+//     (qos.TryAcquireN): cheap estimates pack 8 items per slot, unpacks 4,
+//     packs 2, clamped to what the class could ever hold (qos.MaxCost) so a
+//     large batch waits for a quiet server instead of being unadmittable or
+//     eating other classes' guarantees.
+//   - Intra-batch fan-out obeys the pool.Split budget rule twice over: a
+//     batch holding cost slots gets cost × inner workers, split across items
+//     — slots × batch workers × per-item workers never oversubscribes the
+//     configured budget.
+//
+// unpack-many additionally routes brick-store items that share a region
+// through one brick.Set: geometry validated once, byte ranges planned across
+// all members, each member still decoding only the bricks the region
+// intersects.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/batch"
+	"github.com/fxrz-go/fxrz/internal/brick"
+	"github.com/fxrz-go/fxrz/internal/fieldio"
+	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/pool"
+	"github.com/fxrz-go/fxrz/internal/ratelimit"
+	"github.com/fxrz-go/fxrz/internal/roi"
+)
+
+// itemsPerSlot converts batch sizes to admission cost per class: how many
+// items of the class one QoS slot is worth. Estimate items are feature
+// lookups (many fit in a slot's worth of capacity); unpack and pack run real
+// codec work and pack fewer.
+var itemsPerSlot = map[int]int{
+	classEstimate: 8,
+	classUnpack:   4,
+	classPack:     2,
+}
+
+// batchCost prices an n-item batch in admission slots: ceil(n / itemsPerSlot),
+// clamped to [1, qos.MaxCost] so any legal batch is admissible on a quiet
+// server but can never displace another class's guarantee.
+func (s *Server) batchCost(class, n int) int {
+	per := itemsPerSlot[class]
+	cost := (n + per - 1) / per
+	if m := s.admit.MaxCost(class); cost > m {
+		cost = m
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}
+
+// batchRunner executes decoded items under a worker budget, filling one
+// result per item. Implementations must write every results[i].
+type batchRunner func(ctx context.Context, r *http.Request, items []batch.Item, results []batch.Result, budget int)
+
+// instrumentBatch is the batch analogue of instrument. The order differs
+// from the single-item path out of necessity: the item count is inside the
+// body, so the body is read (under the size cap) and the container decoded
+// before the rate limiter and admission controller run — both then charge
+// for the whole batch at once (AllowN / TryAcquireN), so batching amortises
+// the per-request machinery without bypassing any per-client or per-class
+// limit.
+func (s *Server) instrumentBatch(ep string, class int, run batchRunner) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obs.Inc("serve/requests/" + ep)
+		defer obs.Span("serve/latency/" + ep)()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.serveBatch(sw, r, ep, class, run)
+		if sw.code >= 400 {
+			obs.Inc("serve/errors/" + ep)
+		}
+	})
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, ep string, class int, run batchRunner) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := getBuf()
+	defer putBuf(buf)
+	body, err := readBody(r, buf)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	items, err := batch.DecodeRequest(body)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	n := len(items)
+	if n > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d items exceeds the %d-item limit; split the request", n, s.cfg.MaxBatch))
+		return
+	}
+	if ok, retry := s.limits.AllowN(clientID(r), n); !ok {
+		obs.Inc("serve/rejected/ratelimit")
+		w.Header().Set("Retry-After", strconv.Itoa(ratelimit.RetryAfterSeconds(retry)))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("batch of %d items over the client's %g req/s rate limit", n, s.cfg.RatePerClient))
+		return
+	}
+	cost := s.batchCost(class, n)
+	if !s.admit.TryAcquireN(class, cost) {
+		obs.Inc("serve/rejected/overload")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server at capacity for %s requests (%d of %d slots in use, batch needs %d)",
+				qosClasses[class].Name, s.admit.Total(), s.admit.Capacity(), cost))
+		return
+	}
+	defer s.admit.ReleaseN(class, cost)
+	obs.AddGauge("serve/inflight", int64(cost))
+	obs.MaxGauge("serve/inflight_peak", int64(s.admit.Total()))
+	defer obs.AddGauge("serve/inflight", int64(-cost))
+	obs.Add("serve/batch/items/"+ep, int64(n))
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	results := make([]batch.Result, n)
+	// The batch ticket holds cost slots, so it is entitled to cost slots'
+	// worth of intra-field workers, split across the items.
+	run(ctx, r, items, results, cost*s.inner)
+	okCount := 0
+	for i := range results {
+		if results[i].Status < 400 {
+			okCount++
+		}
+	}
+	obs.Add("serve/batch/item_ok/"+ep, int64(okCount))
+	obs.Add("serve/batch/item_err/"+ep, int64(n-okCount))
+	out := batch.EncodeResponse(results)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	_, _ = w.Write(out)
+}
+
+// itemResult wraps a per-item outcome: the single-endpoint response bytes on
+// success, the error mapped through errorStatus otherwise.
+func itemResult(id uint64, payload []byte, err error) batch.Result {
+	if err != nil {
+		return batch.Result{ID: id, Status: errorStatus(err), Payload: []byte(err.Error())}
+	}
+	return batch.Result{ID: id, Status: http.StatusOK, Payload: payload}
+}
+
+// itemQuery parses an item's params override; empty params are an empty set.
+func itemQuery(it batch.Item) (url.Values, error) {
+	if it.Params == "" {
+		return nil, nil
+	}
+	q, err := url.ParseQuery(it.Params)
+	if err != nil {
+		return nil, badRequestf("item params %q: %v", it.Params, err)
+	}
+	return q, nil
+}
+
+// mergedGet resolves one parameter: the item override when present, the
+// request-level query otherwise.
+func mergedGet(base, item url.Values, key string) string {
+	if v := item.Get(key); v != "" {
+		return v
+	}
+	return base.Get(key)
+}
+
+// modelEntry caches one registry lookup for a batch.
+type modelEntry struct {
+	fw  *fxrz.Framework
+	err error
+}
+
+// prefetchModels resolves every distinct model id a batch references with
+// one registry lookup each, before the fan-out — duplicate items share the
+// entry instead of racing the registry.
+func (s *Server) prefetchModels(ctx context.Context, base url.Values, items []batch.Item) map[string]modelEntry {
+	out := make(map[string]modelEntry)
+	for _, it := range items {
+		iq, err := itemQuery(it)
+		if err != nil {
+			continue // the item itself will fail with 400 during the fan-out
+		}
+		id := mergedGet(base, iq, "model")
+		if id == "" {
+			continue
+		}
+		if _, seen := out[id]; seen {
+			continue
+		}
+		fw, err := s.reg.Get(ctx, id)
+		out[id] = modelEntry{fw: fw, err: err}
+	}
+	return out
+}
+
+// runEstimateMany fans the batch's items over the estimate engine. Each item
+// body is what /v1/estimate takes: an fxrzfield container (sniffed by magic)
+// for full analysis, anything else decoded as the JSON features fast path.
+func (s *Server) runEstimateMany(ctx context.Context, r *http.Request, items []batch.Item, results []batch.Result, budget int) {
+	base := r.URL.Query()
+	models := s.prefetchModels(ctx, base, items)
+	outer, perItem := pool.Split(budget, len(items))
+	pool.Run(outer, len(items), func(i int) {
+		results[i] = s.estimateItem(ctx, base, models, items[i], perItem)
+	})
+}
+
+var fieldMagic = []byte("fxrzfield")
+
+func (s *Server) estimateItem(ctx context.Context, base url.Values, models map[string]modelEntry, it batch.Item, workers int) batch.Result {
+	iq, err := itemQuery(it)
+	if err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	id, target, err := parseModelTarget(func(k string) string { return mergedGet(base, iq, k) })
+	if err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	m := models[id]
+	if m.err != nil {
+		return itemResult(it.ID, nil, m.err)
+	}
+	jsonMode := !bytes.HasPrefix(it.Payload, fieldMagic)
+	resp, err := estimateCore(ctx, m.fw.WithParallelism(workers), id, target, jsonMode, bytes.NewReader(it.Payload))
+	if err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	return itemResult(it.ID, encodeJSON(resp), nil)
+}
+
+// encodeJSON renders v exactly as writeJSON does (trailing newline
+// included), so a batch item payload is bit-identical to the single
+// endpoint's response body.
+func encodeJSON(v any) []byte {
+	var b bytes.Buffer
+	_ = json.NewEncoder(&b).Encode(v)
+	return b.Bytes()
+}
+
+// runPackMany fans the batch's items over the pack engine: each item body is
+// an fxrzfield container, each result payload the compressed stream at the
+// item's estimated knob.
+func (s *Server) runPackMany(ctx context.Context, r *http.Request, items []batch.Item, results []batch.Result, budget int) {
+	base := r.URL.Query()
+	models := s.prefetchModels(ctx, base, items)
+	outer, perItem := pool.Split(budget, len(items))
+	pool.Run(outer, len(items), func(i int) {
+		results[i] = s.packItem(ctx, base, models, items[i], perItem)
+	})
+}
+
+func (s *Server) packItem(ctx context.Context, base url.Values, models map[string]modelEntry, it batch.Item, workers int) batch.Result {
+	iq, err := itemQuery(it)
+	if err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	id, target, err := parseModelTarget(func(k string) string { return mergedGet(base, iq, k) })
+	if err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	m := models[id]
+	if m.err != nil {
+		return itemResult(it.ID, nil, m.err)
+	}
+	blob, _, _, err := packCore(ctx, m.fw.WithParallelism(workers), target, bytes.NewReader(it.Payload))
+	return itemResult(it.ID, blob, err)
+}
+
+// setMember routes one unpack item through a shared brick set.
+type setMember struct {
+	set    *brick.Set
+	member int
+	origin []int
+	shape  []int
+}
+
+// runUnpackMany fans the batch's items over the unpack engine. Items whose
+// payloads are marshaled brick stores and whose effective region agree are
+// first opened together as one brick.Set — geometry validated once, byte
+// ranges planned across all members — and each then decodes only its own
+// intersecting bricks. Everything else (other containers, per-item regions,
+// stores of mismatched geometry) takes the per-item path, so a set that
+// fails to open degrades gracefully instead of failing its items.
+func (s *Server) runUnpackMany(ctx context.Context, r *http.Request, items []batch.Item, results []batch.Result, budget int) {
+	base := r.URL.Query()
+	members := s.planBrickSets(base, items)
+	outer, perItem := pool.Split(budget, len(items))
+	pool.Run(outer, len(items), func(i int) {
+		results[i] = s.unpackItem(ctx, base, items[i], members[i], perItem)
+	})
+}
+
+// planBrickSets groups brick-store items by their effective region text and
+// opens each group of two or more as one brick.Set, returning the per-item
+// membership (nil = per-item path). Groups that fail to open — mixed
+// geometry, corrupt members — fall back silently; the per-item path will
+// produce the per-item error.
+func (s *Server) planBrickSets(base url.Values, items []batch.Item) []*setMember {
+	members := make([]*setMember, len(items))
+	groups := make(map[string][]int)
+	for i, it := range items {
+		if !brick.IsStore(it.Payload) {
+			continue
+		}
+		iq, err := itemQuery(it)
+		if err != nil {
+			continue
+		}
+		if region := mergedGet(base, iq, "region"); region != "" {
+			groups[region] = append(groups[region], i)
+		}
+	}
+	for region, idx := range groups {
+		if len(idx) < 2 {
+			continue
+		}
+		lo, hi, err := fxrz.ParseRegion(region)
+		if err != nil {
+			continue
+		}
+		blobs := make([][]byte, len(idx))
+		for k, i := range idx {
+			blobs[k] = items[i].Payload
+		}
+		set, err := brick.OpenSet(roi.ResolveCodec, blobs...)
+		if err != nil {
+			continue
+		}
+		origin := make([]int, len(lo))
+		shape := make([]int, len(lo))
+		for d := range lo {
+			origin[d], shape[d] = lo[d], hi[d]-lo[d]
+		}
+		// One plan across the whole set: the ranges a sharded reader would
+		// fetch. Planning failures (region outside the shared geometry) leave
+		// the group on the per-item path, which reports the per-item error.
+		plan, err := set.RegionByteRanges(origin, shape)
+		if err != nil {
+			continue
+		}
+		planned := 0
+		for _, ranges := range plan {
+			for _, rg := range ranges {
+				planned += rg[1] - rg[0]
+			}
+		}
+		obs.Inc("serve/batch/brickset")
+		obs.Add("serve/batch/brickset_members", int64(len(idx)))
+		obs.Add("serve/batch/brickset_planned_bytes", int64(planned))
+		for k, i := range idx {
+			members[i] = &setMember{set: set, member: k, origin: origin, shape: shape}
+		}
+	}
+	return members
+}
+
+func (s *Server) unpackItem(ctx context.Context, base url.Values, it batch.Item, sm *setMember, workers int) batch.Result {
+	iq, err := itemQuery(it)
+	if err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	var f *fxrz.Field
+	if sm != nil {
+		obs.Inc("serve/unpack_region")
+		f, err = sm.set.ReadRegion(sm.member, sm.origin, sm.shape)
+		if err != nil {
+			err = badRequestf("%v", err)
+		} else {
+			obs.Add("serve/bytes/unpacked_out", int64(f.Bytes()))
+		}
+	} else {
+		f, err = unpackCore(it.Payload, mergedGet(base, iq, "region"), workers)
+	}
+	if err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	var out bytes.Buffer
+	if err := fieldio.Write(&out, f); err != nil {
+		return itemResult(it.ID, nil, err)
+	}
+	return itemResult(it.ID, out.Bytes(), nil)
+}

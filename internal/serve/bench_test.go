@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	fxrz "github.com/fxrz-go/fxrz"
+	"github.com/fxrz-go/fxrz/internal/batch"
 	"github.com/fxrz-go/fxrz/internal/datagen"
 	"github.com/fxrz-go/fxrz/internal/fieldio"
 	"github.com/fxrz-go/fxrz/internal/serve"
@@ -119,6 +121,88 @@ func BenchmarkServePack(b *testing.B) {
 			e.post(b, path, e.body)
 		}
 	})
+}
+
+// The BenchmarkServeBatch* family measures the amortization curve the
+// /v1/*-many endpoints exist for: the same item at batch sizes 1/4/16/64,
+// whole-batch ns/op. benchguard divides by the /bN subname to get per-item
+// cost and gates the floor — per-item estimate at batch 16 must be at least
+// 3x cheaper than batch 1, and per-item cost must fall monotonically with
+// batch size (with slack for loopback transport noise on the big-body
+// curves). Re-record with `make bench-serve`.
+
+// batchPayload wraps n copies of body into one request container.
+func batchPayload(n int, body []byte) []byte {
+	items := make([]batch.Item, n)
+	for i := range items {
+		items[i] = batch.Item{ID: uint64(i), Payload: body}
+	}
+	return batch.EncodeRequest(items)
+}
+
+// checkBatch validates one response container outside the timed loop: all n
+// items must come back 200 or the curve measures error paths.
+func (e *benchEnv) checkBatch(b *testing.B, path string, payload []byte, n int) {
+	b.Helper()
+	results, err := batch.DecodeResponse(e.post(b, path, payload))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(results) != n {
+		b.Fatalf("%d results for %d items", len(results), n)
+	}
+	for _, r := range results {
+		if r.Status != 200 {
+			b.Fatalf("item %d status %d: %s", r.ID, r.Status, r.Payload)
+		}
+	}
+}
+
+func benchBatchSizes(b *testing.B, e *benchEnv, path string, body []byte) {
+	b.Helper()
+	for _, n := range []int{1, 4, 16, 64} {
+		payload := batchPayload(n, body)
+		b.Run(fmt.Sprintf("b%d", n), func(b *testing.B) {
+			e.checkBatch(b, path, payload, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.post(b, path, payload)
+			}
+		})
+	}
+}
+
+// BenchmarkServeBatchEstimate batches the features-mode estimate — the knob
+// query whose own work is microseconds, so the curve isolates the fixed
+// per-request cost (round trip, routing, admission, container handling) that
+// batching exists to amortize. Field-payload estimates spend ~200us per item
+// on feature extraction, which caps the visible amortization regardless of
+// how cheap the per-request overhead gets.
+func BenchmarkServeBatchEstimate(b *testing.B) {
+	e := newBenchEnv(b)
+	ft := fxrz.ExtractFeatures(e.field, 4)
+	est, err := e.fwBound.EstimateConfig(e.field, e.target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	featJSON, err := json.Marshal(serve.FeaturesRequest{
+		ValueRange: ft.ValueRange, MeanValue: ft.MeanValue,
+		MND: ft.MND, MLD: ft.MLD, MSD: ft.MSD, CARatio: est.NonConstantR,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchSizes(b, e, fmt.Sprintf("/v1/estimate-many?model=nyx-sz&target=%g", e.target), featJSON)
+}
+
+func BenchmarkServeBatchPack(b *testing.B) {
+	e := newBenchEnv(b)
+	benchBatchSizes(b, e, fmt.Sprintf("/v1/pack-many?model=nyx-sz&target=%g", e.target), e.body)
+}
+
+func BenchmarkServeBatchUnpack(b *testing.B) {
+	e := newBenchEnv(b)
+	benchBatchSizes(b, e, "/v1/unpack-many", e.blob)
 }
 
 func BenchmarkServeUnpack(b *testing.B) {

@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -96,6 +97,10 @@ type Config struct {
 	// RateBurst is the per-client token-bucket depth (default:
 	// ceil(RatePerClient), at least 1).
 	RateBurst int
+	// MaxBatch caps the item count of one /v1/*-many request (default 64).
+	// Larger batches get 413 — the client splits, instead of one request
+	// monopolising the admission pool.
+	MaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout == 0 {
 		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
 	}
 	return c
 }
@@ -151,6 +159,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/estimate", s.instrument("estimate", classEstimate, s.handleEstimate))
 	mux.Handle("POST /v1/pack", s.instrument("pack", classPack, s.handlePack))
 	mux.Handle("POST /v1/unpack", s.instrument("unpack", classUnpack, s.handleUnpack))
+	mux.Handle("POST /v1/estimate-many", s.instrumentBatch("estimate-many", classEstimate, s.runEstimateMany))
+	mux.Handle("POST /v1/pack-many", s.instrumentBatch("pack-many", classPack, s.runPackMany))
+	mux.Handle("POST /v1/unpack-many", s.instrumentBatch("unpack-many", classUnpack, s.runUnpackMany))
 	mux.Handle("GET /v1/models", s.instrument("models", classNone, s.handleModels))
 	mux.Handle("GET /healthz", s.instrument("healthz", classNone, s.handleHealthz))
 	mux.Handle("GET /metrics", obs.Handler())
@@ -310,11 +321,18 @@ func fail(w http.ResponseWriter, err error) {
 
 // modelAndTarget parses the query parameters shared by estimate and pack.
 func modelAndTarget(r *http.Request) (id string, target float64, err error) {
-	id = r.URL.Query().Get("model")
+	q := r.URL.Query()
+	return parseModelTarget(q.Get)
+}
+
+// parseModelTarget validates the model/target pair from any parameter source
+// (the request query, or a batch item's params merged over it).
+func parseModelTarget(get func(string) string) (id string, target float64, err error) {
+	id = get("model")
 	if id == "" {
 		return "", 0, badRequestf("missing required query parameter %q", "model")
 	}
-	ts := r.URL.Query().Get("target")
+	ts := get("target")
 	if ts == "" {
 		return "", 0, badRequestf("missing required query parameter %q", "target")
 	}
@@ -369,37 +387,46 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fw = fw.WithParallelism(s.inner)
-	resp := EstimateResponse{Model: id, Compressor: fw.Compressor().Name(), TargetRatio: target}
+	jsonMode := r.Header.Get("Content-Type") == "application/json"
+	resp, err := estimateCore(r.Context(), fw, id, target, jsonMode, r.Body)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
 
+// estimateCore computes one estimate from a body — the shared engine of
+// /v1/estimate and its batch form. jsonMode selects the pre-extracted
+// features fast path; otherwise the body is an fxrzfield container analysed
+// the full way. Neither path runs a compressor.
+func estimateCore(ctx context.Context, fw *fxrz.Framework, id string, target float64, jsonMode bool, body io.Reader) (EstimateResponse, error) {
+	resp := EstimateResponse{Model: id, Compressor: fw.Compressor().Name(), TargetRatio: target}
 	var est fxrz.Estimate
-	if r.Header.Get("Content-Type") == "application/json" {
+	if jsonMode {
 		var req FeaturesRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			fail(w, badRequestf("decoding features: %v", err))
-			return
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			return resp, badRequestf("decoding features: %v", err)
 		}
+		var err error
 		est, err = fw.EstimateFromFeatures(fxrz.Features{
 			ValueRange: req.ValueRange, MeanValue: req.MeanValue,
 			MND: req.MND, MLD: req.MLD, MSD: req.MSD,
 		}, target, req.CARatio)
 		if err != nil {
-			fail(w, badRequestf("%v", err))
-			return
+			return resp, badRequestf("%v", err)
 		}
 	} else {
-		f, err := fieldio.Read(r.Body)
+		f, err := fieldio.Read(body)
 		if err != nil {
-			fail(w, asBodyError(err))
-			return
+			return resp, asBodyError(err)
 		}
-		if err := r.Context().Err(); err != nil {
-			fail(w, err)
-			return
+		if err := ctx.Err(); err != nil {
+			return resp, err
 		}
 		est, err = fw.EstimateConfig(f, target)
 		if err != nil {
-			fail(w, badRequestf("%v", err))
-			return
+			return resp, badRequestf("%v", err)
 		}
 		lo, hi := fw.ValidRatioRange(f)
 		resp.ValidRange = []float64{lo, hi}
@@ -409,7 +436,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	resp.NonConstantR = est.NonConstantR
 	resp.Extrapolating = est.Extrapolating
 	resp.AnalysisMS = float64(est.AnalysisTime()) / 1e6
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // asBodyError upgrades a wrapped MaxBytesError to itself (so errorStatus
@@ -445,22 +472,11 @@ func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	f, err := fieldio.Read(bytes.NewReader(body))
+	blob, est, f, err := packCore(r.Context(), fw, target, bytes.NewReader(body))
 	if err != nil {
-		fail(w, asBodyError(err))
-		return
-	}
-	if err := r.Context().Err(); err != nil {
 		fail(w, err)
 		return
 	}
-	blob, est, err := fw.CompressToRatio(f, target)
-	if err != nil {
-		fail(w, badRequestf("%v", err))
-		return
-	}
-	obs.Add("serve/bytes/packed_in", int64(f.Bytes()))
-	obs.Add("serve/bytes/packed_out", int64(len(blob)))
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("Content-Length", strconv.Itoa(len(blob)))
@@ -469,6 +485,25 @@ func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Fxrz-Achieved-Ratio", strconv.FormatFloat(fxrz.Ratio(f, blob), 'g', 6, 64))
 	h.Set("X-Fxrz-Extrapolating", strconv.FormatBool(est.Extrapolating))
 	_, _ = w.Write(blob)
+}
+
+// packCore compresses one fxrzfield body at the model's estimated knob — the
+// shared engine of /v1/pack and its batch form.
+func packCore(ctx context.Context, fw *fxrz.Framework, target float64, body io.Reader) ([]byte, fxrz.Estimate, *fxrz.Field, error) {
+	f, err := fieldio.Read(body)
+	if err != nil {
+		return nil, fxrz.Estimate{}, nil, asBodyError(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fxrz.Estimate{}, nil, err
+	}
+	blob, est, err := fw.CompressToRatio(f, target)
+	if err != nil {
+		return nil, est, nil, badRequestf("%v", err)
+	}
+	obs.Add("serve/bytes/packed_in", int64(f.Bytes()))
+	obs.Add("serve/bytes/packed_out", int64(len(blob)))
+	return blob, est, f, nil
 }
 
 // handleUnpack answers POST /v1/unpack: the body is any stream a built-in
@@ -490,23 +525,11 @@ func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	var f *fxrz.Field
-	if region := r.URL.Query().Get("region"); region != "" {
-		lo, hi, perr := fxrz.ParseRegion(region)
-		if perr != nil {
-			fail(w, badRequestf("%v", perr))
-			return
-		}
-		obs.Inc("serve/unpack_region")
-		f, err = fxrz.DecompressRegionParallel(blob, lo, hi, s.inner)
-	} else {
-		f, err = fxrz.DecompressParallel(blob, s.inner)
-	}
+	f, err := unpackCore(blob, r.URL.Query().Get("region"), s.inner)
 	if err != nil {
-		fail(w, badRequestf("%v", err))
+		fail(w, err)
 		return
 	}
-	obs.Add("serve/bytes/unpacked_out", int64(f.Bytes()))
 	out := getBuf()
 	defer putBuf(out)
 	if err := fieldio.Write(out, f); err != nil {
@@ -519,6 +542,28 @@ func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; all we can do is count it.
 		obs.Inc("serve/errors/unpack_write")
 	}
+}
+
+// unpackCore decompresses one stream, optionally restricted to a textual
+// region — the shared engine of /v1/unpack and its batch form.
+func unpackCore(blob []byte, region string, workers int) (*fxrz.Field, error) {
+	var f *fxrz.Field
+	var err error
+	if region != "" {
+		lo, hi, perr := fxrz.ParseRegion(region)
+		if perr != nil {
+			return nil, badRequestf("%v", perr)
+		}
+		obs.Inc("serve/unpack_region")
+		f, err = fxrz.DecompressRegionParallel(blob, lo, hi, workers)
+	} else {
+		f, err = fxrz.DecompressParallel(blob, workers)
+	}
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	obs.Add("serve/bytes/unpacked_out", int64(f.Bytes()))
+	return f, nil
 }
 
 // ModelsResponse is the JSON body of GET /v1/models.
