@@ -4,7 +4,7 @@
 # The CI workflow (.github/workflows/ci.yml) runs lint, verify, verify-race,
 # cover and the bench-smoke/benchguard pair on every push and pull request.
 
-.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-roi bench-load bench-smoke benchguard fuzz-smoke
+.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-roi bench-entropy bench-load bench-smoke benchguard fuzz-smoke
 
 verify:
 	go build ./... && go test ./...
@@ -75,6 +75,17 @@ bench-roi:
 		|| { echo "$$out"; exit 1; }; \
 	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_roi.json
 
+# Run the chunked-entropy decode benchmark and gate the serial-vs-chunked
+# deltas against the recorded BENCH_entropy.json: the w4-vs-serial 2x floor
+# only gates on machines with >= 4 cores (wall-clock, core-bound); the w1
+# overhead cap and the <= 1% chunk-table size budget are validated against
+# the recorded file on any machine. Run this (and re-record the JSON) after
+# touching internal/entropy.
+bench-entropy:
+	@out="$$(go test -run '^$$' -bench BenchmarkChunkedDecode -benchtime 1s ./internal/entropy/)" \
+		|| { echo "$$out"; exit 1; }; \
+	echo "$$out" | go run ./cmd/benchguard -deltas -baseline BENCH_entropy.json
+
 # One-iteration benchmark pass: proves the benchmarks still run, without
 # trusting the timings of a shared CI box (the timing gate is bench-kernels,
 # run on a quiet recording machine).
@@ -84,6 +95,7 @@ bench-smoke:
 		./internal/sz/ ./internal/zfp/ ./internal/entropy/ ./internal/core/
 	go test -run '^$$' -bench BenchmarkServe -benchtime 1x ./internal/serve/
 	go test -run '^$$' -bench BenchmarkRegionDecode -benchtime 1x .
+	go test -run '^$$' -bench BenchmarkChunkedDecode -benchtime 1x ./internal/entropy/
 
 # Re-record the BENCH_load.json mixed-load baseline and gate it: fxrzload
 # trains a small model, serves it in-process (fxrzd's real handler), drives
@@ -114,10 +126,11 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) ./internal/mgard/
 	go test -run '^$$' -fuzz '^FuzzLZDecompress$$' -fuzztime $(FUZZTIME) ./internal/entropy/
 	go test -run '^$$' -fuzz '^FuzzHuffmanDecode$$' -fuzztime $(FUZZTIME) ./internal/entropy/
+	go test -run '^$$' -fuzz '^FuzzChunkedEntropy$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/entropy/
 	go test -run '^$$' -fuzz '^FuzzBatchContainer$$' -fuzztime $(FUZZTIME) ./internal/batch/
 	go test -run '^$$' -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) .
 
 # Validate the recorded baseline files stay machine-readable and keep their
 # speedup floors.
 benchguard:
-	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json BENCH_roi.json BENCH_load.json
+	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json BENCH_roi.json BENCH_entropy.json BENCH_load.json

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fullEntropy builds a valid entropy baseline, optionally mutated, as JSON.
+// The runner has 8 cores so the w4 floor is armed by default; runner-level
+// mutations are done with string surgery on the marshalled JSON.
+func fullEntropy(t *testing.T, mutate func(map[string]*entropyEntry)) string {
+	t.Helper()
+	es := map[string]*entropyEntry{
+		"huffman_chunked": {
+			Name: "huffman_chunked", Bench: "BenchmarkChunkedDecode/huffman",
+			NsSerial: 9.6,
+			Results: []compressResult{
+				{Workers: 1, NsPerElem: 6.8},
+				{Workers: 2, NsPerElem: 4.9},
+				{Workers: 4, NsPerElem: 3.84},
+			},
+			SpeedupW4: 2.5, BlobOverheadFrac: 0.0001, BlobOverheadCap: 0.01,
+		},
+	}
+	if mutate != nil {
+		mutate(es)
+	}
+	b := entropyBaseline{
+		Benchmark: "BenchmarkChunkedDecode (internal/entropy)",
+		Date:      "2026-08-08",
+		Runner:    compressRunner{CPU: "test", Cores: 8, Note: "test"},
+	}
+	b.Entropy = []entropyEntry{}
+	if e := es["huffman_chunked"]; e != nil {
+		b.Entropy = append(b.Entropy, *e)
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestValidateEntropyBaselines(t *testing.T) {
+	if err := validate([]byte(fullEntropy(t, nil))); err != nil {
+		t.Fatalf("valid entropy baseline rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(map[string]*entropyEntry)
+		wantErr string
+	}{
+		{"missing entry", func(es map[string]*entropyEntry) {
+			es["huffman_chunked"] = nil
+		}, `missing required entropy entry "huffman_chunked"`},
+		{"missing bench", func(es map[string]*entropyEntry) {
+			es["huffman_chunked"].Bench = ""
+		}, "missing bench"},
+		{"zero serial", func(es map[string]*entropyEntry) {
+			es["huffman_chunked"].NsSerial = 0
+		}, "ns_serial must be > 0"},
+		{"missing width", func(es map[string]*entropyEntry) {
+			e := es["huffman_chunked"]
+			e.Results = e.Results[:1]
+		}, "missing result for workers=2"},
+		{"duplicate width", func(es map[string]*entropyEntry) {
+			e := es["huffman_chunked"]
+			e.Results = append(e.Results, compressResult{Workers: 4, NsPerElem: 3.9})
+		}, "duplicate entry for workers=4"},
+		{"inconsistent speedup", func(es map[string]*entropyEntry) {
+			es["huffman_chunked"].SpeedupW4 = 9.0
+		}, "inconsistent with serial/w4 ratio"},
+		{"width-1 overhead breach", func(es map[string]*entropyEntry) {
+			// 16.0 ns at width 1 is 1.67x the 9.6 ns whole-stream decode,
+			// over the 1.5x bookkeeping cap.
+			es["huffman_chunked"].Results[0].NsPerElem = 16.0
+		}, "width-1 chunked decode is"},
+		{"negative blob overhead", func(es map[string]*entropyEntry) {
+			es["huffman_chunked"].BlobOverheadFrac = -0.1
+		}, "blob_overhead_frac must be >= 0"},
+		{"blob cap removed", func(es map[string]*entropyEntry) {
+			es["huffman_chunked"].BlobOverheadCap = 0
+		}, "blob_overhead_cap 0 must be in (0, 0.01]"},
+		{"blob cap loosened", func(es map[string]*entropyEntry) {
+			es["huffman_chunked"].BlobOverheadCap = 0.5
+			es["huffman_chunked"].BlobOverheadFrac = 0.4
+		}, "blob_overhead_cap 0.5 must be in (0, 0.01]"},
+		{"blob overhead above cap", func(es map[string]*entropyEntry) {
+			es["huffman_chunked"].BlobOverheadFrac = 0.02
+		}, "exceeds the 0.01 cap"},
+		{"w4 floor on multi-core runner", func(es map[string]*entropyEntry) {
+			// 6.4 ns at width 4 is only 1.5x the serial decode: under the 2x
+			// floor, which is armed because the builder's runner has 8 cores.
+			e := es["huffman_chunked"]
+			e.Results[2].NsPerElem = 6.4
+			e.SpeedupW4 = 1.5
+		}, "below the 2.0x floor on a 8-core runner"},
+	}
+	for _, tc := range cases {
+		err := validate([]byte(fullEntropy(t, tc.mutate)))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// A small runner must carry a note explaining the un-enforceable floor...
+	small := strings.Replace(fullEntropy(t, nil), `"cores":8`, `"cores":1`, 1)
+	small = strings.Replace(small, `"note":"test"`, `"note":""`, 1)
+	if err := validate([]byte(small)); err == nil || !strings.Contains(err.Error(), "runner.note") {
+		t.Errorf("small runner without note: err = %v", err)
+	}
+	// ...and with the note present, a sub-floor speedup_w4 is accepted there.
+	slowSmall := fullEntropy(t, func(es map[string]*entropyEntry) {
+		e := es["huffman_chunked"]
+		e.Results[2].NsPerElem = 6.4
+		e.SpeedupW4 = 1.5
+	})
+	slowSmall = strings.Replace(slowSmall, `"cores":8`, `"cores":1`, 1)
+	if err := validate([]byte(slowSmall)); err != nil {
+		t.Errorf("1-core runner with sub-floor w4 rejected: %v", err)
+	}
+}
+
+func TestParseEntropyBenchLine(t *testing.T) {
+	cases := []struct {
+		line       string
+		name, role string
+		v          float64
+		ok         bool
+	}{
+		{"BenchmarkChunkedDecode/huffman/serial-8    59  20286570 ns/op  103.35 MB/s  0.0001 blob-overhead-frac", "huffman_chunked", "before", 20286570, true},
+		{"BenchmarkChunkedDecode/huffman/w4-8        82  14528693 ns/op", "huffman_chunked", "after", 14528693, true},
+		{"BenchmarkChunkedDecode/huffman/serial      59  20286570 ns/op", "huffman_chunked", "before", 20286570, true},
+		{"BenchmarkChunkedDecode/huffman/w1-8        71  14248814 ns/op", "", "", 0, false},
+		{"BenchmarkChunkedDecode/huffman/w2-8        68  15215126 ns/op", "", "", 0, false},
+		{"BenchmarkChunkedDecode/huffman-8            1         1 ns/op", "", "", 0, false},
+		{"BenchmarkKernelUnpredict/generic-8       2048    500000 ns/op", "", "", 0, false},
+		{"PASS", "", "", 0, false},
+	}
+	for _, tc := range cases {
+		name, role, v, ok := parseEntropyBenchLine(tc.line)
+		if ok != tc.ok || name != tc.name || role != tc.role || v != tc.v {
+			t.Errorf("parseEntropyBenchLine(%q) = (%q, %q, %v, %v), want (%q, %q, %v, %v)",
+				tc.line, name, role, v, ok, tc.name, tc.role, tc.v, tc.ok)
+		}
+	}
+}
+
+const healthyEntropyBench = `
+goos: linux
+BenchmarkChunkedDecode/huffman/serial-8    59  20000000 ns/op  0.0001 blob-overhead-frac
+BenchmarkChunkedDecode/huffman/w1-8        71  14000000 ns/op  0.0001 blob-overhead-frac
+BenchmarkChunkedDecode/huffman/w2-8        68  10000000 ns/op  0.0001 blob-overhead-frac
+BenchmarkChunkedDecode/huffman/w4-8        82   8000000 ns/op  0.0001 blob-overhead-frac
+PASS
+`
+
+func TestRunDeltasEntropy(t *testing.T) {
+	baseline := t.TempDir() + "/BENCH_entropy.json"
+	if err := os.WriteFile(baseline, []byte(fullEntropy(t, nil)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// On a multi-core box the healthy 2.5x run clears the 2x floor.
+	var sb strings.Builder
+	if err := runDeltas(strings.NewReader(healthyEntropyBench), &sb, baseline, 8); err != nil {
+		t.Fatalf("healthy multi-core run rejected: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "huffman_chunked") {
+		t.Fatalf("delta table missing huffman_chunked:\n%s", sb.String())
+	}
+
+	// A slow width-4 decode (1.82x) falls through the 2x floor there...
+	slowed := strings.Replace(healthyEntropyBench, " 8000000 ns/op", " 11000000 ns/op", 1)
+	sb.Reset()
+	err := runDeltas(strings.NewReader(slowed), &sb, baseline, 8)
+	if err == nil || !strings.Contains(err.Error(), "below the 2.0x floor") {
+		t.Fatalf("slowed multi-core run: err = %v, want floor failure", err)
+	}
+
+	// ...but on a small box the wall-clock floor is informational only.
+	sb.Reset()
+	if err := runDeltas(strings.NewReader(slowed), &sb, baseline, 1); err != nil {
+		t.Fatalf("slowed 1-core run rejected: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "not gated: <4 cores") {
+		t.Fatalf("1-core delta table missing the not-gated note:\n%s", sb.String())
+	}
+
+	// A missing width-4 variant is a broken roster on any machine.
+	missing := strings.Replace(healthyEntropyBench, "BenchmarkChunkedDecode/huffman/w4-8        82   8000000 ns/op  0.0001 blob-overhead-frac\n", "", 1)
+	sb.Reset()
+	err = runDeltas(strings.NewReader(missing), &sb, baseline, 1)
+	if err == nil || !strings.Contains(err.Error(), "missing after variant") {
+		t.Fatalf("missing-variant run: err = %v, want missing-variant failure", err)
+	}
+}
+
+func TestRecordedEntropyBaselineIsValid(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_entropy.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(raw); err != nil {
+		t.Errorf("recorded BENCH_entropy.json rejected: %v", err)
+	}
+}

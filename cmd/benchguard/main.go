@@ -193,14 +193,55 @@ type roiEntry struct {
 }
 
 // requiredRegions is the roster a roi baseline must cover, and the headline
-// entry's merge-time guarantees: the zfp eighth-volume decode must be >= 4x
-// faster than a full decode while its index stays within 1% of the blob.
+// entries' merge-time guarantees: the zfp eighth-volume decode must be >= 4x
+// faster than a full decode while its index stays within 1% of the blob, and
+// the sz eighth-volume decode — seekable since its entropy stream went
+// chunked — must stay >= 2.5x.
 var requiredRegions = []string{"zfp_eighth", "sz_eighth"}
 
 const (
 	roiHeadline             = "zfp_eighth"
 	roiHeadlineSpeedupFloor = 4.0
 	roiHeadlineOverheadCap  = 0.01
+	roiSZRegion             = "sz_eighth"
+	roiSZSpeedupFloor       = 2.5
+	roiSZOverheadCap        = 0.01
+)
+
+// entropyBaseline mirrors the schema of BENCH_entropy.json: the whole-stream
+// serial Huffman decode versus the chunked container's parallel decode at
+// worker widths 1, 2 and 4 on a >= 1M-symbol quantization-code-like stream.
+// Width speedups are wall-clock and core-bound (BENCH_compress.json
+// convention: the w4 floor gates only on >= multiCoreMin-core recorders, and
+// a small recorder must carry an explanatory runner.note), but two bounds
+// hold on any machine: chunked decode at width 1 must stay within
+// parallelOverheadCap of the whole-stream decode, and the chunk table must
+// cost at most blob_overhead_cap of the legacy container size.
+type entropyBaseline struct {
+	Benchmark string         `json:"benchmark"`
+	Date      string         `json:"date"`
+	Runner    compressRunner `json:"runner"`
+	Entropy   []entropyEntry `json:"entropy"`
+}
+
+type entropyEntry struct {
+	Name             string           `json:"name"`
+	Bench            string           `json:"bench"`
+	NsSerial         float64          `json:"ns_serial"`
+	Results          []compressResult `json:"results"`
+	SpeedupW4        float64          `json:"speedup_w4"`
+	BlobOverheadFrac float64          `json:"blob_overhead_frac"`
+	BlobOverheadCap  float64          `json:"blob_overhead_cap"`
+}
+
+// requiredEntropy is the roster an entropy baseline must cover, and
+// entropyW4Floor the ISSUE-mandated chunked-decode speedup over the serial
+// whole-stream decode at width 4 on a multi-core recorder.
+var requiredEntropy = []string{"huffman_chunked"}
+
+const (
+	entropyW4Floor         = 2.0
+	entropyBlobOverheadCap = 0.01
 )
 
 // kernelBaseline mirrors the schema of BENCH_kernels.json.
@@ -237,6 +278,7 @@ var requiredKernels = []string{"sz_quantize_3d", "zfp_encode_ints", "huffman_dec
 // this so a misspelled or half-written baseline says what would have matched.
 var knownSchemas = []struct{ key, desc string }{
 	{"load", "fxrzload mixed-load baseline (BENCH_load.json)"},
+	{"entropy", "chunked-entropy decode baseline (BENCH_entropy.json)"},
 	{"regions", "region-decode baseline (BENCH_roi.json)"},
 	{"endpoints", "serving-overhead baseline (BENCH_serve.json)"},
 	{"codecs", "parallel-compress baseline (BENCH_compress.json)"},
@@ -254,6 +296,7 @@ func validate(raw []byte) error {
 		Codecs    []json.RawMessage `json:"codecs"`
 		Endpoints []json.RawMessage `json:"endpoints"`
 		Regions   []json.RawMessage `json:"regions"`
+		Entropy   []json.RawMessage `json:"entropy"`
 		Load      json.RawMessage   `json:"load"`
 	}
 	if err := json.Unmarshal(raw, &probe); err != nil {
@@ -262,6 +305,8 @@ func validate(raw []byte) error {
 	switch {
 	case probe.Load != nil:
 		return validateLoad(raw)
+	case probe.Entropy != nil:
+		return validateEntropy(raw)
 	case probe.Regions != nil:
 		return validateRoi(raw)
 	case probe.Endpoints != nil:
@@ -482,14 +527,103 @@ func validateRoi(raw []byte) error {
 			return fmt.Errorf("missing required region %q", name)
 		}
 	}
-	// The headline entry must keep its merge-time guarantees, not just any
-	// self-declared floor.
+	// The headline entries must keep their merge-time guarantees, not just
+	// any self-declared floor.
 	h := seen[roiHeadline]
 	if h.SpeedupFloor < roiHeadlineSpeedupFloor {
 		return fmt.Errorf("%s: speedup_floor %.2f below the required %.1fx", roiHeadline, h.SpeedupFloor, roiHeadlineSpeedupFloor)
 	}
 	if !(h.IndexOverheadCap > 0) || h.IndexOverheadCap > roiHeadlineOverheadCap {
 		return fmt.Errorf("%s: index_overhead_cap %v must be in (0, %.2f]", roiHeadline, h.IndexOverheadCap, roiHeadlineOverheadCap)
+	}
+	s := seen[roiSZRegion]
+	if s.SpeedupFloor < roiSZSpeedupFloor {
+		return fmt.Errorf("%s: speedup_floor %.2f below the required %.1fx", roiSZRegion, s.SpeedupFloor, roiSZSpeedupFloor)
+	}
+	if !(s.IndexOverheadCap > 0) || s.IndexOverheadCap > roiSZOverheadCap {
+		return fmt.Errorf("%s: index_overhead_cap %v must be in (0, %.2f]", roiSZRegion, s.IndexOverheadCap, roiSZOverheadCap)
+	}
+	return nil
+}
+
+func validateEntropy(raw []byte) error {
+	var b entropyBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if err := validateCommon(b.Benchmark, b.Date); err != nil {
+		return err
+	}
+	if b.Runner.Cores <= 0 {
+		return fmt.Errorf("runner.cores must be > 0, got %d", b.Runner.Cores)
+	}
+	multiCore := b.Runner.Cores >= multiCoreMin
+	if !multiCore && b.Runner.Note == "" {
+		return fmt.Errorf("runner has %d cores (< %d): a runner.note explaining the un-enforceable speedup floor is required",
+			b.Runner.Cores, multiCoreMin)
+	}
+	seen := make(map[string]entropyEntry, len(b.Entropy))
+	for i, e := range b.Entropy {
+		if e.Name == "" {
+			return fmt.Errorf("entropy[%d]: missing name", i)
+		}
+		if _, dup := seen[e.Name]; dup {
+			return fmt.Errorf("entropy[%d]: duplicate entry for %q", i, e.Name)
+		}
+		seen[e.Name] = e
+		if e.Bench == "" {
+			return fmt.Errorf("entropy[%d] (%s): missing bench", i, e.Name)
+		}
+		if !(e.NsSerial > 0) {
+			return fmt.Errorf("entropy[%d] (%s): ns_serial must be > 0, got %v", i, e.Name, e.NsSerial)
+		}
+		byWidth := make(map[int]float64, len(e.Results))
+		for j, r := range e.Results {
+			if !(r.NsPerElem > 0) {
+				return fmt.Errorf("entropy[%d] (%s) results[%d]: ns_per_elem must be > 0, got %v", i, e.Name, j, r.NsPerElem)
+			}
+			if _, dup := byWidth[r.Workers]; dup {
+				return fmt.Errorf("entropy[%d] (%s): duplicate entry for workers=%d", i, e.Name, r.Workers)
+			}
+			byWidth[r.Workers] = r.NsPerElem
+		}
+		for _, w := range compressWidths {
+			if _, ok := byWidth[w]; !ok {
+				return fmt.Errorf("entropy[%d] (%s): missing result for workers=%d", i, e.Name, w)
+			}
+		}
+		ratio := e.NsSerial / byWidth[4]
+		if !(e.SpeedupW4 > 0) {
+			return fmt.Errorf("entropy[%d] (%s): speedup_w4 must be > 0, got %v", i, e.Name, e.SpeedupW4)
+		}
+		if ratio/e.SpeedupW4 > 1.01 || e.SpeedupW4/ratio > 1.01 {
+			return fmt.Errorf("entropy[%d] (%s): speedup_w4 %.3f inconsistent with serial/w4 ratio %.3f", i, e.Name, e.SpeedupW4, ratio)
+		}
+		// Chunk bookkeeping must stay cheap even with no cores to exploit:
+		// a width-1 chunked decode may not run more than parallelOverheadCap
+		// slower than the whole-stream decode, on any recorder.
+		if byWidth[1] > parallelOverheadCap*e.NsSerial {
+			return fmt.Errorf("entropy[%d] (%s): width-1 chunked decode is %.2fx slower than the whole-stream decode (overhead cap %.2fx)",
+				i, e.Name, byWidth[1]/e.NsSerial, parallelOverheadCap)
+		}
+		if e.BlobOverheadFrac < 0 {
+			return fmt.Errorf("entropy[%d] (%s): blob_overhead_frac must be >= 0, got %v", i, e.Name, e.BlobOverheadFrac)
+		}
+		if !(e.BlobOverheadCap > 0) || e.BlobOverheadCap > entropyBlobOverheadCap {
+			return fmt.Errorf("entropy[%d] (%s): blob_overhead_cap %v must be in (0, %.2f]", i, e.Name, e.BlobOverheadCap, entropyBlobOverheadCap)
+		}
+		if e.BlobOverheadFrac > e.BlobOverheadCap {
+			return fmt.Errorf("entropy[%d] (%s): chunk-table overhead %.5f exceeds the %.2f cap", i, e.Name, e.BlobOverheadFrac, e.BlobOverheadCap)
+		}
+		if multiCore && e.SpeedupW4 < entropyW4Floor {
+			return fmt.Errorf("entropy[%d] (%s): chunked decode speedup %.3f at width 4 below the %.1fx floor on a %d-core runner",
+				i, e.Name, e.SpeedupW4, entropyW4Floor, b.Runner.Cores)
+		}
+	}
+	for _, name := range requiredEntropy {
+		if _, ok := seen[name]; !ok {
+			return fmt.Errorf("missing required entropy entry %q", name)
+		}
 	}
 	return nil
 }
@@ -978,6 +1112,37 @@ func parseRoiBenchLine(line string) (name, role string, v float64, ok bool) {
 	return parts[1] + "_eighth", role, v, true
 }
 
+// parseEntropyBenchLine pairs the chunked-entropy decode variants: the
+// whole-stream serial decode is the "before" leg and the width-4 chunked
+// decode the "after" leg (w1/w2 appear in the recorded baseline but carry no
+// within-run gate of their own here).
+func parseEntropyBenchLine(line string) (name, role string, v float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkChunkedDecode/") {
+		return "", "", 0, false
+	}
+	parts := strings.Split(procSuffix.ReplaceAllString(fields[0], ""), "/")
+	if len(parts) != 3 {
+		return "", "", 0, false
+	}
+	switch parts[2] {
+	case "serial":
+		role = "before"
+	case "w4":
+		role = "after"
+	default:
+		return "", "", 0, false
+	}
+	if fields[3] != "ns/op" {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || !(v > 0) {
+		return "", "", 0, false
+	}
+	return parts[1] + "_chunked", role, v, true
+}
+
 // runDeltas implements -deltas: pair up variants from bench output, print the
 // old-vs-new table, and gate against the recorded baseline if one was given.
 // Kernel lines pair generic/fast variants; compress lines pair the w1/w4
@@ -994,6 +1159,7 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 	isServe := map[string]bool{}
 	isRoi := map[string]bool{}
 	isBatch := map[string]bool{}
+	isEntropy := map[string]bool{}
 	roiFloors := map[string]float64{}
 	record := func(name, role string, v float64) {
 		p := measured[name]
@@ -1021,6 +1187,11 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 		if name, role, v, ok := parseRoiBenchLine(sc.Text()); ok {
 			record(name, role, v)
 			isRoi[name] = true
+			continue
+		}
+		if name, role, v, ok := parseEntropyBenchLine(sc.Text()); ok {
+			record(name, role, v)
+			isEntropy[name] = true
 			continue
 		}
 		if name, role, v, ok := parseServeBatchBenchLine(sc.Text()); ok {
@@ -1053,10 +1224,15 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 		var cb compressBaseline
 		var sb serveBaseline
 		var rb roiBaseline
+		var eb entropyBaseline
 		_ = json.Unmarshal(raw, &kb) // validated above
 		_ = json.Unmarshal(raw, &cb)
 		_ = json.Unmarshal(raw, &sb)
 		_ = json.Unmarshal(raw, &rb)
+		_ = json.Unmarshal(raw, &eb)
+		for _, e := range eb.Entropy {
+			recorded[e.Name] = e.SpeedupW4
+		}
 		for _, k := range kb.Kernels {
 			recorded[k.Name] = k.Speedup
 		}
@@ -1096,7 +1272,7 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 		if rec, ok := recorded[name]; ok {
 			note = fmt.Sprintf("%.2fx", rec)
 			switch {
-			case isCompress[name] && !compressGate:
+			case (isCompress[name] || isEntropy[name]) && !compressGate:
 				note += " (not gated: <4 cores)"
 			case isRoi[name]:
 				// Region pairs gate on their absolute floors below; the
@@ -1133,6 +1309,10 @@ func runDeltas(in io.Reader, out io.Writer, baselinePath string, cores int) erro
 						"%s: per-item amortization %.2fx at batch 16 below the %.1fx floor", name, sp, floor))
 				}
 			}
+		}
+		if isEntropy[name] && compressGate && sp < entropyW4Floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: chunked decode speedup %.2fx at width 4 below the %.1fx floor on a %d-core machine", name, sp, entropyW4Floor, cores))
 		}
 		if isCompress[name] && compressGate && strings.HasSuffix(name, "_pack") && sp < packSpeedupFloor {
 			failures = append(failures, fmt.Sprintf(

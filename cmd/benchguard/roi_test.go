@@ -18,8 +18,8 @@ func fullRoi(t *testing.T, mutate func(map[string]*roiEntry)) string {
 		},
 		"sz_eighth": {
 			Name: "sz_eighth", Bench: "BenchmarkRegionDecode/sz",
-			NsFull: 20300000, NsRegion: 14800000, Speedup: 1.37, VolumeFrac: 0.125,
-			SpeedupFloor: 1.0, IndexOverheadFrac: 0.0001, IndexOverheadCap: 0,
+			NsFull: 20300000, NsRegion: 7000000, Speedup: 2.9, VolumeFrac: 0.125,
+			SpeedupFloor: 2.5, IndexOverheadFrac: 0.0001, IndexOverheadCap: 0.01,
 		},
 	}
 	if mutate != nil {
@@ -83,6 +83,16 @@ func TestValidateRoiBaselines(t *testing.T) {
 			es["zfp_eighth"].IndexOverheadCap = 0.5
 			es["zfp_eighth"].IndexOverheadFrac = 0.4
 		}, "index_overhead_cap 0.5 must be in (0, 0.01]"},
+		{"sz floor weakened", func(es map[string]*roiEntry) {
+			es["sz_eighth"].SpeedupFloor = 1.0
+		}, "sz_eighth: speedup_floor 1.00 below the required 2.5x"},
+		{"sz cap removed", func(es map[string]*roiEntry) {
+			es["sz_eighth"].IndexOverheadCap = 0
+		}, "sz_eighth: index_overhead_cap 0 must be in (0, 0.01]"},
+		{"sz speedup below own floor", func(es map[string]*roiEntry) {
+			es["sz_eighth"].NsRegion = 14800000
+			es["sz_eighth"].Speedup = 1.37
+		}, "below the 2.5x floor"},
 	}
 	for _, tc := range cases {
 		err := validate([]byte(fullRoi(t, tc.mutate)))
@@ -130,7 +140,7 @@ goos: linux
 BenchmarkRegionDecode/zfp/full-8        127   8500000 ns/op  0.0027 idx-frac
 BenchmarkRegionDecode/zfp/eighth-8      796   1450000 ns/op  0.0027 idx-frac
 BenchmarkRegionDecode/sz/full-8          52  20300000 ns/op  0.0001 idx-frac
-BenchmarkRegionDecode/sz/eighth-8        72  14800000 ns/op  0.0001 idx-frac
+BenchmarkRegionDecode/sz/eighth-8        72   7000000 ns/op  0.0001 idx-frac
 PASS
 `
 
@@ -159,16 +169,25 @@ func TestRunDeltasRoi(t *testing.T) {
 		t.Fatalf("slowed run: err = %v, want floor failure", err)
 	}
 
-	// A small sz wobble (well within run-to-run noise on its ~1.4x ratio)
-	// stays above the 1.0x floor and must NOT fail the gate.
-	wobble := strings.Replace(healthyRoiBench, " 14800000 ns/op", " 18000000 ns/op", 1)
+	// A small sz wobble (run-to-run noise against the recorded 2.9x) stays
+	// above the 2.5x floor and must NOT fail the gate: region pairs gate on
+	// their absolute floors, not on drift from the recorded ratio.
+	wobble := strings.Replace(healthyRoiBench, " 7000000 ns/op", " 7800000 ns/op", 1)
 	sb.Reset()
 	if err := runDeltas(strings.NewReader(wobble), &sb, baseline, 1); err != nil {
 		t.Fatalf("sz wobble rejected: %v\n%s", err, sb.String())
 	}
 
+	// Falling through the sz floor fails: 14,800,000 ns is only 1.37x.
+	szSlow := strings.Replace(healthyRoiBench, " 7000000 ns/op", " 14800000 ns/op", 1)
+	sb.Reset()
+	err = runDeltas(strings.NewReader(szSlow), &sb, baseline, 1)
+	if err == nil || !strings.Contains(err.Error(), "below the 2.5x floor") {
+		t.Fatalf("slow sz run: err = %v, want sz floor failure", err)
+	}
+
 	// A missing eighth variant is a broken roster.
-	missing := strings.Replace(healthyRoiBench, "BenchmarkRegionDecode/sz/eighth-8        72  14800000 ns/op  0.0001 idx-frac\n", "", 1)
+	missing := strings.Replace(healthyRoiBench, "BenchmarkRegionDecode/sz/eighth-8        72   7000000 ns/op  0.0001 idx-frac\n", "", 1)
 	sb.Reset()
 	err = runDeltas(strings.NewReader(missing), &sb, baseline, 1)
 	if err == nil || !strings.Contains(err.Error(), "missing after variant") {

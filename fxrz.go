@@ -332,11 +332,13 @@ func ParseRegion(s string) (lo, hi []int, err error) { return roi.ParseRegion(s)
 // DecompressRegion decodes only the half-open subvolume [lo, hi) of a
 // stream — an indexed container, a raw codec blob, or a marshaled brick
 // store — returning a field of shape hi-lo whose samples are bit-identical
-// to the corresponding slice of a full decode. With an index (see IndexBlob)
-// the cost scales with the region, not the field: zfp seeks to block
-// offsets, sz restarts the Lorenzo recurrence at the nearest indexed slab,
-// and brick stores read only intersecting chunks. Without one, codecs fall
-// back to skimming or full decode + slice — always correct, just slower.
+// to the corresponding slice of a full decode. The cost scales with the
+// region, not the field: zfp seeks to block offsets, sz entropy-decodes only
+// the chunks covering the region's slabs and restarts the Lorenzo recurrence
+// at each one (legacy whole-stream sz blobs restart at the nearest indexed
+// slab instead, see IndexBlob), and brick stores read only intersecting
+// chunks. Codecs without seekable structure fall back to full decode +
+// slice — always correct, just slower.
 func DecompressRegion(blob []byte, lo, hi []int) (*Field, error) {
 	return DecompressRegionParallel(blob, lo, hi, 1)
 }
@@ -349,9 +351,9 @@ func DecompressRegionParallel(blob []byte, lo, hi []int, workers int) (*Field, e
 }
 
 // RegionReader provides O(1) materialized random access over a compressed
-// stream: At(coord...) decodes lazily, block by block for zfp streams, and
-// performs zero heap allocations once the blocks under a query region are
-// warm. See OpenReader.
+// stream: At(coord...) decodes lazily — block by block for zfp streams, slab
+// by slab for chunked sz streams — and performs zero heap allocations once
+// the blocks or slabs under a query region are warm. See OpenReader.
 type RegionReader = roi.Reader
 
 // OpenReader parses a stream (indexed container, raw codec blob, or

@@ -1,0 +1,685 @@
+package entropy
+
+// Chunked, seekable entropy containers.
+//
+// The whole-stream Huffman and LZ+Huffman coders are serial by construction:
+// one bit stream, one dictionary window, decodable only front to back. The
+// chunked containers below keep a single shared canonical code-length table
+// (so the ratio cost of chunking stays in the per-chunk bookkeeping, not in
+// duplicated tables) and split the payload into N independently decodable
+// chunks with per-chunk symbol counts and byte-offset deltas. That buys two
+// things: decode fans chunks across a worker pool, and a reader that only
+// needs a byte range of the original stream entropy-decodes only the chunks
+// covering it (DecompressBytesRange) — the primitive the SZ region decoder
+// uses to go from O(stream) to O(region).
+//
+// Container layout (all integers uvarint unless noted):
+//
+//	byte 0x00        sentinel — a legacy stream starts with uvarint(alphabet)
+//	                 and the decoder rejects alphabet 0, so no legacy blob
+//	                 ever begins with a zero byte
+//	byte magic       0xC5 chunked Huffman symbols | 0xCB chunked LZ bytes
+//	byte version     1
+//	[0xCB only] srcLen      total uncompressed byte count
+//	[0xCB only] blockBytes  source bytes per chunk (last chunk ragged)
+//	alphabet
+//	n                total symbol count across chunks
+//	nchunks
+//	nchunks × count  per-chunk symbol counts (sum = n)
+//	length table     shared canonical code lengths (same RLE as legacy)
+//	nchunks × plen   per-chunk payload byte lengths (byte-offset deltas;
+//	                 chunks are byte-aligned, costing < 1 byte per chunk)
+//	payloads         concatenated per-chunk bit streams
+//
+// For the 0xCB byte container, chunk i's symbols are the LZ compression of
+// source block i = src[i*blockBytes : min((i+1)*blockBytes, srcLen)] — each
+// block is dictionary-coded independently, so a chunk decodes without any
+// bytes from its neighbours.
+//
+// Encoding is deterministic at every worker width: chunk boundaries depend
+// only on the input length, the shared frequency table is summed in chunk
+// order (integer sums are order-independent), and per-chunk payloads are
+// assembled serially. The whole-stream coders remain untouched as the
+// bit-exactness oracles and as the decode path for all pre-existing blobs;
+// every decode entry point here sniffs the sentinel and transparently falls
+// back to them.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/fxrz-go/fxrz/internal/obs"
+	"github.com/fxrz-go/fxrz/internal/pool"
+)
+
+const (
+	chunkedSentinel     = 0x00
+	chunkedMagicHuffman = 0xC5
+	chunkedMagicBytes   = 0xCB
+	chunkedVersion      = 1
+
+	// ChunkTargetBytes is the target source bytes per chunk of the byte
+	// container (and, via DefaultChunkSymbols, symbols per chunk of the
+	// symbol container): large enough that the per-chunk uvarint bookkeeping
+	// and LZ window reset stay far under 1% of the payload, small enough
+	// that a handful of chunks cover a typical field and region reads skip
+	// most of them. Exported so callers aligning chunk boundaries to their
+	// own structure (sz rows) can derive a block size near this target.
+	ChunkTargetBytes = 1 << 17
+
+	// DefaultChunkSymbols is the symbol-container chunk size: inputs shorter
+	// than two chunks encode in the legacy whole-stream format (the same
+	// size-cutoff idiom the wavefront kernels use — below the cutoff the
+	// fan-out costs more than it buys).
+	DefaultChunkSymbols = 1 << 17
+
+	// maxChunksCap bounds hostile chunk counts before any per-chunk
+	// allocation happens.
+	maxChunksCap = 1 << 20
+)
+
+// isChunked reports whether blob starts a chunked container with the given
+// magic.
+func isChunked(blob []byte, magic byte) bool {
+	return len(blob) >= 3 && blob[0] == chunkedSentinel && blob[1] == magic && blob[2] == chunkedVersion
+}
+
+// IsChunked reports whether blob is any chunked entropy container.
+func IsChunked(blob []byte) bool {
+	return isChunked(blob, chunkedMagicHuffman) || isChunked(blob, chunkedMagicBytes)
+}
+
+// ChunkedBlockSize returns the source block size of a chunked byte container
+// (the byte span each chunk decodes independently), or 0 when blob is not
+// one. Callers use it to map their own structure onto chunk boundaries
+// without decoding anything.
+func ChunkedBlockSize(blob []byte) int {
+	if !isChunked(blob, chunkedMagicBytes) {
+		return 0
+	}
+	rest := blob[3:]
+	if _, k := binary.Uvarint(rest); k > 0 {
+		rest = rest[k:]
+		if b, k := binary.Uvarint(rest); k > 0 && b > 0 && b <= 1<<36 {
+			return int(b)
+		}
+	}
+	return 0
+}
+
+// HuffmanEncodeChunked encodes symbols like HuffmanEncode but into the
+// chunked container, splitting the stream into DefaultChunkSymbols-symbol
+// chunks that HuffmanDecodeChunked can decode in parallel. Inputs shorter
+// than two chunks produce the legacy whole-stream format byte-identically.
+// Output is identical at every worker count.
+func HuffmanEncodeChunked(symbols []uint32, alphabet, workers int) ([]byte, error) {
+	nchunks := (len(symbols) + DefaultChunkSymbols - 1) / DefaultChunkSymbols
+	if nchunks < 2 {
+		return HuffmanEncodeParallel(symbols, alphabet, workers)
+	}
+	chunks := make([][]uint32, nchunks)
+	for i := range chunks {
+		lo := i * DefaultChunkSymbols
+		hi := lo + DefaultChunkSymbols
+		if hi > len(symbols) {
+			hi = len(symbols)
+		}
+		chunks[i] = symbols[lo:hi]
+	}
+	out := []byte{chunkedSentinel, chunkedMagicHuffman, chunkedVersion}
+	return appendChunkedCore(out, chunks, alphabet, workers)
+}
+
+// HuffmanDecodeChunked reverses HuffmanEncodeChunked with up to `workers`
+// chunks decoding concurrently. Legacy whole-stream blobs are dispatched to
+// HuffmanDecode, so any blob either encoder produced decodes here.
+func HuffmanDecodeChunked(blob []byte, workers int) ([]uint32, error) {
+	if !isChunked(blob, chunkedMagicHuffman) {
+		obs.Inc("entropy/legacy_decode")
+		return HuffmanDecode(blob)
+	}
+	h, err := parseChunkedCore(blob[3:])
+	if err != nil {
+		return nil, err
+	}
+	recordChunkedDecode(len(h.counts))
+	out := make([]uint32, h.n)
+	offs := make([]int, len(h.counts))
+	sum := 0
+	for i, c := range h.counts {
+		offs[i] = sum
+		sum += c
+	}
+	err = h.decodeInto(workers, func(i int) []uint32 {
+		return out[offs[i] : offs[i] : offs[i]+h.counts[i]]
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompressBytesChunked is CompressBytes in the chunked container: src is cut
+// into ChunkTargetBytes blocks, each LZ-coded independently, with one shared
+// Huffman table over all chunks. Inputs shorter than two blocks fall back to
+// the legacy whole-stream format byte-identically. Output is identical at
+// every worker count.
+func CompressBytesChunked(src []byte, workers int) ([]byte, error) {
+	if (len(src)+ChunkTargetBytes-1)/ChunkTargetBytes < 2 {
+		return CompressBytesParallel(src, workers)
+	}
+	return CompressBytesBlocks(src, ChunkTargetBytes, workers)
+}
+
+// CompressBytesBlocks encodes src into the chunked byte container with the
+// caller's exact block size — the entry point for callers that align chunk
+// boundaries to their own structure (sz uses a multiple of its row size so
+// slab boundaries land on chunk boundaries). The container is emitted even
+// for a single block; callers wanting the legacy fallback use
+// CompressBytesChunked.
+func CompressBytesBlocks(src []byte, blockBytes, workers int) ([]byte, error) {
+	if blockBytes <= 0 {
+		return nil, fmt.Errorf("entropy: invalid chunk block size %d", blockBytes)
+	}
+	nblocks := (len(src) + blockBytes - 1) / blockBytes
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	if nblocks > maxChunksCap {
+		return nil, fmt.Errorf("entropy: %d chunks exceed cap (block size %d for %d bytes)", nblocks, blockBytes, len(src))
+	}
+	// Each block is dictionary-coded independently so its chunk decodes
+	// without neighbours; the match search inside a block is the serial
+	// LZCompress, so per-block output is deterministic and the fan-out is
+	// over blocks only.
+	lz := make([][]byte, nblocks)
+	pool.Run(workers, nblocks, func(i int) {
+		lo := i * blockBytes
+		hi := lo + blockBytes
+		if hi > len(src) {
+			hi = len(src)
+		}
+		lz[i] = LZCompress(src[lo:hi])
+	})
+	chunks := make([][]uint32, nblocks)
+	total := 0
+	for _, b := range lz {
+		total += len(b)
+	}
+	syms := getU32s(total)
+	pos := 0
+	for i, b := range lz {
+		chunk := syms[pos : pos+len(b)]
+		for j, v := range b {
+			chunk[j] = uint32(v)
+		}
+		chunks[i] = chunk
+		pos += len(b)
+		putBytes(b)
+	}
+	out := []byte{chunkedSentinel, chunkedMagicBytes, chunkedVersion}
+	out = binary.AppendUvarint(out, uint64(len(src)))
+	out = binary.AppendUvarint(out, uint64(blockBytes))
+	out, err := appendChunkedCore(out, chunks, 256, workers)
+	putU32s(syms)
+	return out, err
+}
+
+// DecompressBytesParallel reverses CompressBytes and CompressBytesChunked,
+// decoding the chunks of a chunked container across up to `workers`
+// goroutines. Legacy whole-stream blobs take the original serial path.
+func DecompressBytesParallel(blob []byte, workers int) ([]byte, error) {
+	if !isChunked(blob, chunkedMagicBytes) {
+		obs.Inc("entropy/legacy_decode")
+		return decompressBytesLegacy(blob)
+	}
+	h, srcLen, blockBytes, err := parseChunkedBytes(blob)
+	if err != nil {
+		return nil, err
+	}
+	recordChunkedDecode(len(h.counts))
+	out := make([]byte, srcLen)
+	if err := h.decodeBlocksInto(out, 0, len(h.counts), blockBytes, workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressBytesRange returns bytes [off, end) of the stream a CompressBytes
+// variant encoded. totalLen is the caller's expected uncompressed length and
+// is validated against the container. For a chunked container only the chunks
+// covering [off, end) are entropy-decoded — cost O(range), not O(stream);
+// legacy blobs decode in full and slice.
+func DecompressBytesRange(blob []byte, off, end, totalLen, workers int) ([]byte, error) {
+	if off < 0 || end < off || end > totalLen {
+		return nil, fmt.Errorf("entropy: invalid byte range [%d, %d) of %d", off, end, totalLen)
+	}
+	if !isChunked(blob, chunkedMagicBytes) {
+		obs.Inc("entropy/legacy_decode")
+		all, err := decompressBytesLegacy(blob)
+		if err != nil {
+			return nil, err
+		}
+		if len(all) != totalLen {
+			return nil, fmt.Errorf("entropy: stream decodes to %d bytes, caller expected %d", len(all), totalLen)
+		}
+		return all[off:end], nil
+	}
+	h, srcLen, blockBytes, err := parseChunkedBytes(blob)
+	if err != nil {
+		return nil, err
+	}
+	if srcLen != totalLen {
+		return nil, fmt.Errorf("entropy: chunked stream holds %d bytes, caller expected %d", srcLen, totalLen)
+	}
+	c0 := off / blockBytes
+	c1 := (end + blockBytes - 1) / blockBytes
+	if c1 > len(h.counts) {
+		c1 = len(h.counts)
+	}
+	if c0 >= c1 {
+		c0, c1 = 0, 0
+	}
+	recordChunkedDecode(c1 - c0)
+	buf := make([]byte, minInt(c1*blockBytes, srcLen)-c0*blockBytes)
+	if err := h.decodeBlocksInto(buf, c0, c1, blockBytes, workers); err != nil {
+		return nil, err
+	}
+	return buf[off-c0*blockBytes : end-c0*blockBytes], nil
+}
+
+// decompressBytesLegacy is the pre-chunking whole-stream pipeline (Huffman
+// then LZ), retained as the decode path for every legacy blob and as the
+// oracle the chunked round-trip tests pin against.
+func decompressBytesLegacy(blob []byte) ([]byte, error) {
+	syms, err := HuffmanDecode(blob)
+	if err != nil {
+		return nil, err
+	}
+	lz := make([]byte, len(syms))
+	for i, s := range syms {
+		lz[i] = byte(s)
+	}
+	return LZDecompress(lz)
+}
+
+// recordChunkedDecode bumps the chunked-traffic counters: serve-time adoption
+// of the new container is observable as chunked vs legacy decode counts plus
+// a chunks-per-blob histogram (obs histograms bucket int64 durations, so the
+// chunk count rides in as a Duration — the power-of-two buckets and quantiles
+// read directly as chunk counts).
+func recordChunkedDecode(nchunks int) {
+	obs.Inc("entropy/chunked_decode")
+	obs.Observe("entropy/chunks_per_blob", time.Duration(nchunks))
+}
+
+// chunkedCore is a parsed chunked container from the alphabet field onward.
+type chunkedCore struct {
+	alphabet int
+	n        int
+	counts   []int
+	lengths  []uint8
+	payloads [][]byte
+}
+
+// appendChunkedCore appends the shared-table multi-chunk encoding of chunks
+// to out: alphabet, total count, per-chunk counts, one length table built
+// from the summed frequencies, per-chunk payload lengths, then the payloads.
+// Per-chunk frequency counting and payload emission fan out over the pool;
+// chunk-ordered summation and serial assembly keep the bytes identical at
+// every worker count.
+func appendChunkedCore(out []byte, chunks [][]uint32, alphabet, workers int) ([]byte, error) {
+	if alphabet <= 0 {
+		return nil, fmt.Errorf("entropy: invalid alphabet size %d", alphabet)
+	}
+	nchunks := len(chunks)
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	partial := make([][]int, nchunks)
+	bad := make([]int, nchunks)
+	pool.Run(workers, nchunks, func(i int) {
+		pf := getInts(alphabet)
+		partial[i] = pf
+		bad[i] = -1
+		for j, s := range chunks[i] {
+			if int(s) >= alphabet {
+				bad[i] = j
+				return
+			}
+			pf[s]++
+		}
+	})
+	freq := getInts(alphabet)
+	badSym := int64(-1)
+	for i := nchunks - 1; i >= 0; i-- {
+		if bad[i] >= 0 {
+			badSym = int64(chunks[i][bad[i]])
+		}
+		for sym, c := range partial[i] {
+			freq[sym] += c
+		}
+		putInts(partial[i])
+	}
+	if badSym >= 0 {
+		putInts(freq)
+		return nil, fmt.Errorf("entropy: symbol %d outside alphabet %d", badSym, alphabet)
+	}
+	lengths := huffmanLengths(freq)
+	putInts(freq)
+	codes := canonicalCodes(lengths)
+
+	payloads := make([][]byte, nchunks)
+	pool.Run(workers, nchunks, func(i int) {
+		w := NewPooledBitWriter()
+		for _, s := range chunks[i] {
+			c := codes[s]
+			w.WriteBits(uint64(c.code), uint(c.len))
+		}
+		payloads[i] = w.Bytes()
+	})
+	putCodes(codes)
+
+	out = binary.AppendUvarint(out, uint64(alphabet))
+	out = binary.AppendUvarint(out, uint64(total))
+	out = binary.AppendUvarint(out, uint64(nchunks))
+	for _, c := range chunks {
+		out = binary.AppendUvarint(out, uint64(len(c)))
+	}
+	out = appendLengthTable(out, lengths)
+	for _, p := range payloads {
+		out = binary.AppendUvarint(out, uint64(len(p)))
+	}
+	for _, p := range payloads {
+		out = append(out, p...)
+		RecycleBuffer(p)
+	}
+	return out, nil
+}
+
+// parseChunkedCore parses and validates everything after the 3-byte
+// container prefix. Payload slices are views into blob.
+func parseChunkedCore(body []byte) (*chunkedCore, error) {
+	a, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, ErrTruncated
+	}
+	body = body[k:]
+	n, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, ErrTruncated
+	}
+	body = body[k:]
+	nchunks, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, ErrTruncated
+	}
+	body = body[k:]
+	if a == 0 || a > 1<<24 || n > 1<<34 || nchunks == 0 || nchunks > maxChunksCap {
+		return nil, fmt.Errorf("entropy: implausible chunked header (alphabet %d, count %d, chunks %d)", a, n, nchunks)
+	}
+	h := &chunkedCore{alphabet: int(a), n: int(n), counts: make([]int, nchunks)}
+	var sum uint64
+	for i := range h.counts {
+		c, k := binary.Uvarint(body)
+		if k <= 0 {
+			return nil, ErrTruncated
+		}
+		body = body[k:]
+		sum += c
+		if c > n || sum > n {
+			return nil, fmt.Errorf("entropy: chunk symbol counts overflow total %d", n)
+		}
+		h.counts[i] = int(c)
+	}
+	if sum != n {
+		return nil, fmt.Errorf("entropy: chunk symbol counts sum to %d, header says %d", sum, n)
+	}
+	var err error
+	h.lengths, body, err = readLengthTable(body, h.alphabet)
+	if err != nil {
+		return nil, err
+	}
+	plens := make([]uint64, nchunks)
+	var psum uint64
+	for i := range plens {
+		p, k := binary.Uvarint(body)
+		if k <= 0 {
+			return nil, ErrTruncated
+		}
+		body = body[k:]
+		psum += p
+		if psum > uint64(len(body)) {
+			return nil, ErrTruncated
+		}
+		plens[i] = p
+	}
+	if psum != uint64(len(body)) {
+		return nil, fmt.Errorf("entropy: %d payload bytes for %d declared", len(body), psum)
+	}
+	// Every symbol costs at least one bit, so a chunk's count cannot exceed
+	// its payload bit length (the legacy decoder's fit check, per chunk).
+	// This also bounds the output allocation by the input size.
+	h.payloads = make([][]byte, nchunks)
+	for i, p := range plens {
+		h.payloads[i] = body[:p]
+		body = body[p:]
+		if uint64(h.counts[i]) > 8*p {
+			return nil, fmt.Errorf("entropy: chunk %d: %d symbols cannot fit in %d payload bytes", i, h.counts[i], p)
+		}
+	}
+	return h, nil
+}
+
+// parseChunkedBytes parses a chunked byte container's prefix and core and
+// cross-checks the block structure.
+func parseChunkedBytes(blob []byte) (h *chunkedCore, srcLen, blockBytes int, err error) {
+	body := blob[3:]
+	s, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, 0, 0, ErrTruncated
+	}
+	body = body[k:]
+	b, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, 0, 0, ErrTruncated
+	}
+	body = body[k:]
+	if s > 1<<36 || b == 0 || b > 1<<36 {
+		return nil, 0, 0, fmt.Errorf("entropy: implausible chunked byte header (size %d, block %d)", s, b)
+	}
+	if h, err = parseChunkedCore(body); err != nil {
+		return nil, 0, 0, err
+	}
+	want := int((s + b - 1) / b)
+	if want < 1 {
+		want = 1
+	}
+	if len(h.counts) != want {
+		return nil, 0, 0, fmt.Errorf("entropy: %d chunks for %d bytes in %d-byte blocks (want %d)", len(h.counts), s, b, want)
+	}
+	return h, int(s), int(b), nil
+}
+
+// newDecoder builds the shared canonical decoder for the container's length
+// table. The decoder is read-only after construction, so every chunk worker
+// shares it; the caller must release() it once all workers are done.
+func (h *chunkedCore) newDecoder() (*canonicalDecoder, error) {
+	dec, err := newCanonicalDecoder(h.lengths, h.n >= decTableMinSymbols)
+	if err != nil {
+		return nil, err
+	}
+	if dec.table != nil {
+		obs.Inc("entropy/huffdec_table")
+	} else {
+		obs.Inc("entropy/huffdec_bitwise")
+	}
+	return dec, nil
+}
+
+// decodeChunk decodes chunk i's symbols into out (len 0, cap == counts[i]).
+func (h *chunkedCore) decodeChunk(dec *canonicalDecoder, i int, out []uint32) ([]uint32, error) {
+	r := NewBitReader(h.payloads[i])
+	n := h.counts[i]
+	if dec.table != nil {
+		return dec.decodeAllTable(r, n, out)
+	}
+	for j := 0; j < n; j++ {
+		s, err := dec.decodeSlow(r)
+		if err != nil {
+			return nil, fmt.Errorf("entropy: symbol %d/%d: %w", j, n, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// decodeInto decodes every chunk concurrently, writing chunk i's symbols
+// into the slice dst(i) returns (len 0, cap counts[i], disjoint per chunk).
+func (h *chunkedCore) decodeInto(workers int, dst func(i int) []uint32) error {
+	dec, err := h.newDecoder()
+	if err != nil {
+		return err
+	}
+	defer dec.release()
+	errs := make([]error, len(h.counts))
+	pool.Run(workers, len(h.counts), func(i int) {
+		out, err := h.decodeChunk(dec, i, dst(i))
+		if err == nil && len(out) != h.counts[i] {
+			err = fmt.Errorf("entropy: chunk %d decoded %d symbols, want %d", i, len(out), h.counts[i])
+		}
+		errs[i] = err
+	})
+	return firstErr(errs)
+}
+
+// decodeBlocksInto decodes byte-container chunks [c0, c1) into out, which
+// must hold exactly the source bytes those blocks cover (the last block may
+// be ragged). Each chunk Huffman-decodes its LZ bytes and LZ-decodes them
+// into its disjoint segment of out.
+func (h *chunkedCore) decodeBlocksInto(out []byte, c0, c1, blockBytes, workers int) error {
+	if h.alphabet != 256 {
+		return fmt.Errorf("entropy: chunked byte stream has alphabet %d, want 256", h.alphabet)
+	}
+	dec, err := h.newDecoder()
+	if err != nil {
+		return err
+	}
+	defer dec.release()
+	base := c0 * blockBytes
+	errs := make([]error, c1-c0)
+	pool.Run(workers, c1-c0, func(t int) {
+		i := c0 + t
+		syms := getU32s(h.counts[i])[:0]
+		syms, err := h.decodeChunk(dec, i, syms)
+		if err != nil {
+			errs[t] = err
+			putU32s(syms[:cap(syms)])
+			return
+		}
+		lz := getScratchLZ(len(syms))
+		for j, s := range syms {
+			lz[j] = byte(s)
+		}
+		putU32s(syms[:cap(syms)])
+		lo := i*blockBytes - base
+		hi := lo + blockBytes
+		if hi > len(out) {
+			hi = len(out)
+		}
+		errs[t] = lzDecompressInto(out[lo:hi], lz)
+		putScratchLZ(lz)
+	})
+	return firstErr(errs)
+}
+
+// getScratchLZ / putScratchLZ stage per-chunk LZ byte buffers through the
+// byte pool.
+func getScratchLZ(n int) []byte {
+	b := getBytes()
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+func putScratchLZ(b []byte) { putBytes(b) }
+
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// lzDecompressInto is LZDecompress for a destination of exactly known size:
+// the token stream must decode to len(dst) bytes, written in place. It
+// mirrors LZDecompress's validation token for token (the chunked round-trip
+// tests and FuzzChunkedEntropy pin the two against each other).
+func lzDecompressInto(dst []byte, blob []byte) error {
+	size, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return ErrTruncated
+	}
+	blob = blob[k:]
+	if size != uint64(len(dst)) {
+		return fmt.Errorf("entropy: chunk holds %d bytes, block expects %d", size, len(dst))
+	}
+	pos := 0
+	for {
+		litLen, k := binary.Uvarint(blob)
+		if k <= 0 {
+			return ErrTruncated
+		}
+		blob = blob[k:]
+		if uint64(len(blob)) < litLen {
+			return ErrTruncated
+		}
+		if litLen > uint64(len(dst)-pos) {
+			return fmt.Errorf("entropy: literals overflow declared size %d", size)
+		}
+		pos += copy(dst[pos:], blob[:litLen])
+		blob = blob[litLen:]
+		matchLen, k := binary.Uvarint(blob)
+		if k <= 0 {
+			return ErrTruncated
+		}
+		blob = blob[k:]
+		if matchLen == 0 {
+			break
+		}
+		if matchLen > lzMaxMatch || matchLen > uint64(len(dst)-pos) {
+			return fmt.Errorf("entropy: invalid match length %d at output offset %d", matchLen, pos)
+		}
+		dist, k := binary.Uvarint(blob)
+		if k <= 0 {
+			return ErrTruncated
+		}
+		blob = blob[k:]
+		if dist == 0 || dist > uint64(pos) {
+			return fmt.Errorf("entropy: invalid match distance %d at output offset %d", dist, pos)
+		}
+		// Byte-by-byte copy so overlapping matches replicate runs, exactly
+		// as LZDecompress does.
+		start := pos - int(dist)
+		for j := 0; j < int(matchLen); j++ {
+			dst[pos] = dst[start+j]
+			pos++
+		}
+	}
+	if pos != len(dst) {
+		return fmt.Errorf("entropy: decoded %d bytes, header said %d", pos, size)
+	}
+	return nil
+}

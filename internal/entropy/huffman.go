@@ -48,11 +48,14 @@ func HuffmanEncodeParallel(symbols []uint32, alphabet, workers int) ([]byte, err
 	putInts(freq)
 	codes := canonicalCodes(lengths)
 
-	var out []byte
-	out = binary.AppendUvarint(out, uint64(alphabet))
-	out = binary.AppendUvarint(out, uint64(len(symbols)))
+	// Stage the header through the scratch pool like the bitstream buffer:
+	// only the final exact-size blob is freshly allocated (callers keep it,
+	// so it can never be recycled).
+	hdr := getBytes()
+	hdr = binary.AppendUvarint(hdr, uint64(alphabet))
+	hdr = binary.AppendUvarint(hdr, uint64(len(symbols)))
 	// Length table: run-length encode zeros since most alphabets are sparse.
-	out = appendLengthTable(out, lengths)
+	hdr = appendLengthTable(hdr, lengths)
 
 	w := &BitWriter{buf: getBytes()}
 	for _, s := range symbols {
@@ -61,8 +64,11 @@ func HuffmanEncodeParallel(symbols []uint32, alphabet, workers int) ([]byte, err
 	}
 	putCodes(codes)
 	payload := w.Bytes()
-	out = binary.AppendUvarint(out, uint64(len(payload)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	out := make([]byte, 0, len(hdr)+len(payload))
+	out = append(out, hdr...)
 	out = append(out, payload...)
+	putBytes(hdr)
 	putBytes(payload)
 	return out, nil
 }

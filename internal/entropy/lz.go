@@ -203,15 +203,10 @@ func CompressBytesParallel(src []byte, workers int) ([]byte, error) {
 	return blob, err
 }
 
-// DecompressBytes reverses CompressBytes.
+// DecompressBytes reverses CompressBytes and the chunked variants: it sniffs
+// the container (chunked.go) and dispatches, so any blob a CompressBytes*
+// encoder produced decodes here. Serial; DecompressBytesParallel fans chunked
+// containers out over a worker pool.
 func DecompressBytes(blob []byte) ([]byte, error) {
-	syms, err := HuffmanDecode(blob)
-	if err != nil {
-		return nil, err
-	}
-	lz := make([]byte, len(syms))
-	for i, s := range syms {
-		lz[i] = byte(s)
-	}
-	return LZDecompress(lz)
+	return DecompressBytesParallel(blob, 1)
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/brick"
 	"github.com/fxrz-go/fxrz/internal/compress"
 	"github.com/fxrz-go/fxrz/internal/grid"
+	"github.com/fxrz-go/fxrz/internal/sz"
 	"github.com/fxrz-go/fxrz/internal/zfp"
 )
 
@@ -19,9 +20,12 @@ const zfpBlockSide = 4
 //
 // For ZFP streams up to 3D the cache granularity is the codec's own 4^d
 // block, decoded through the seeking region path, so a cold query costs one
-// block, not one field. Other streams (whose decode is inherently
-// whole-stream) materialize in full on the first query and serve from memory
-// thereafter.
+// block, not one field. For SZ streams whose code section is chunked (the
+// encoder reset its predictor at every slab boundary) the granularity is one
+// slab, decoded through sz.DecompressRegion's seeking path — a cold query
+// entropy-decodes and reconstructs only the slab it landed in. Remaining
+// streams (legacy whole-stream SZ, the other codecs, brick stores)
+// materialize in full on the first query and serve from memory thereafter.
 type Reader struct {
 	blob         []byte
 	inner, index []byte
@@ -33,7 +37,11 @@ type Reader struct {
 	blockMode bool
 	nb        [3]int
 	blocks    map[int][]float32
-	full      *grid.Field
+
+	slabT int // sz slab mode when > 0: rows per lazily decoded slab
+	slabs map[int][]float32
+
+	full *grid.Field
 }
 
 // NewReader parses a container (indexed, raw codec blob, or marshaled brick
@@ -81,6 +89,11 @@ func NewReader(blob []byte) (*Reader, error) {
 			r.nb[d] = (h.Dims[d] + zfpBlockSide - 1) / zfpBlockSide
 		}
 		r.blocks = make(map[int][]float32)
+	} else if inner[0] == compress.MagicSZ {
+		if t := sz.SlabRows(inner); t > 0 {
+			r.slabT = t
+			r.slabs = make(map[int][]float32)
+		}
 	}
 	return r, nil
 }
@@ -110,6 +123,22 @@ func (r *Reader) At(coord ...int) (float32, error) {
 			idx = idx*r.dims[d] + c
 		}
 		return r.full.Data[idx], nil
+	}
+	if r.slabT > 0 {
+		s := coord[0] / r.slabT
+		vals, ok := r.slabs[s]
+		if !ok {
+			var err error
+			if vals, err = r.decodeSlab(s); err != nil {
+				return 0, err
+			}
+			r.slabs[s] = vals
+		}
+		idx := coord[0] - s*r.slabT
+		for d := 1; d < r.nd; d++ {
+			idx = idx*r.dims[d] + coord[d]
+		}
+		return vals[idx], nil
 	}
 	if !r.blockMode {
 		if err := r.materialize(); err != nil {
@@ -158,6 +187,27 @@ func (r *Reader) decodeBlock(coord []int) ([]float32, error) {
 		}
 	}
 	f, err := zfp.DecompressRegion(r.inner, r.index, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return f.Data, nil
+}
+
+// decodeSlab decodes sz slab s — the rows [s·slabT, min((s+1)·slabT, nz)) —
+// through the seeking region path: only the entropy chunk backing the slab is
+// decoded and only its rows are reconstructed (cold path only; cached).
+func (r *Reader) decodeSlab(s int) ([]float32, error) {
+	lo := make([]int, r.nd)
+	hi := make([]int, r.nd)
+	lo[0] = s * r.slabT
+	hi[0] = lo[0] + r.slabT
+	if hi[0] > r.dims[0] {
+		hi[0] = r.dims[0]
+	}
+	for d := 1; d < r.nd; d++ {
+		hi[d] = r.dims[d]
+	}
+	f, err := sz.DecompressRegion(r.inner, r.index, lo, hi)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,92 @@
+package roi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/sz"
+)
+
+// TestReaderSZSlabMode exercises the reader's per-slab lazy path: a chunked
+// sz stream (48×64×64 → 16-row slabs) must serve point queries bit-identical
+// to the full decode, decoding one slab per cold query, for both indexed
+// containers and raw blobs.
+func TestReaderSZSlabMode(t *testing.T) {
+	f := testField(t, 48, 64, 64)
+	blob, err := sz.New().Compress(f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.SlabRows(blob) == 0 {
+		t.Fatal("48×64×64 sz blob is not chunked; slab mode untested")
+	}
+	indexed, err := Build(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sz.New().Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		blob []byte
+	}{
+		{"indexed", indexed},
+		{"raw", blob},
+	} {
+		r, err := NewReader(tc.blob)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		rng := rand.New(rand.NewSource(29))
+		for q := 0; q < 300; q++ {
+			z, y, x := rng.Intn(48), rng.Intn(64), rng.Intn(64)
+			got, err := r.At(z, y, x)
+			if err != nil {
+				t.Fatalf("%s: At(%d,%d,%d): %v", tc.name, z, y, x, err)
+			}
+			if want := full.At(z, y, x); math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("%s: At(%d,%d,%d) = %v, want %v", tc.name, z, y, x, got, want)
+			}
+		}
+	}
+}
+
+// TestReaderSZSlabZeroAlloc extends the warm-path guarantee to slab mode:
+// once the slab under a query is cached, At is a map lookup plus index
+// arithmetic.
+func TestReaderSZSlabZeroAlloc(t *testing.T) {
+	f := testField(t, 48, 64, 64)
+	blob, err := sz.New().Compress(f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := Build(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(indexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the slab holding rows 0..15.
+	if _, err := r.At(3, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	var sink float32
+	allocs := testing.AllocsPerRun(200, func() {
+		for y := 0; y < 8; y++ {
+			v, err := r.At(3, y, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink += v
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("slab-mode Reader.At allocates %v per warm run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -158,7 +158,8 @@ func Inner(blob []byte) ([]byte, error) {
 // DecodeRegion decodes the half-open region [lo, hi) of any supported
 // container: an indexed container, a raw codec blob (no-index fallback
 // paths), or a marshaled brick store. workers bounds the fan-out of the
-// full-decode fallback paths; the seeking paths are serial. Output samples
+// full-decode fallback paths; the seeking paths (zfp blocks, sz chunked
+// slabs) touch so little of the stream that they stay serial. Output samples
 // are bit-identical to the corresponding slice of a full decode at any
 // worker count.
 func DecodeRegion(blob []byte, lo, hi []int, workers int) (*grid.Field, error) {

@@ -1,0 +1,273 @@
+package sz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/fxrz-go/fxrz/internal/compress"
+	"github.com/fxrz-go/fxrz/internal/entropy"
+	"github.com/fxrz-go/fxrz/internal/grid"
+)
+
+// chunkedShapes are field shapes that span at least two slabs under
+// szChunkLayout, one per rank (plus a single-slab control the tests use to
+// pin the legacy fallback).
+var chunkedShapes = [][]int{
+	{3 * 65536},      // 1D: 65536-point slabs
+	{2048, 64},       // 2D: 1024-row slabs
+	{48, 64, 64},     // 3D: 16-row slabs
+	{20, 24, 24, 12}, // 4D: generic-kernel slabs
+}
+
+func chunkedWidths() []int {
+	w := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		w = append(w, n)
+	}
+	return w
+}
+
+// TestSZChunkedLayout pins the chunking policy: multi-slab fields emit the
+// chunked container with a row-aligned block size, sub-slab fields keep the
+// legacy whole-stream format byte-for-byte.
+func TestSZChunkedLayout(t *testing.T) {
+	for _, dims := range chunkedShapes {
+		rows, nSlabs := szChunkLayout(dims)
+		if nSlabs < 2 {
+			t.Fatalf("%v: expected >= 2 slabs, got %d (rows %d)", dims, nSlabs, rows)
+		}
+		f := regionTestField(t, false, dims...)
+		blob, err := New().Compress(f, 1e-3)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if got := SlabRows(blob); got != rows {
+			t.Fatalf("%v: SlabRows = %d, want %d", dims, got, rows)
+		}
+	}
+	// 16³ (the golden-fixture shape) must stay legacy: one slab, no chunking.
+	f := regionTestField(t, false, 16, 16, 16)
+	blob, err := New().Compress(f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SlabRows(blob); got != 0 {
+		t.Fatalf("16³ blob reports slab height %d, want legacy 0", got)
+	}
+	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, _, _, err := splitSZSections(h.Dims, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entropy.IsChunked(packed) {
+		t.Fatal("sub-slab field emitted a chunked entropy container")
+	}
+}
+
+// TestSZChunkedDeterminism: chunked blobs must be byte-identical at every
+// worker width and under the forced-generic quantization oracle.
+func TestSZChunkedDeterminism(t *testing.T) {
+	for _, dims := range chunkedShapes {
+		for _, escapes := range []bool{false, true} {
+			f := regionTestField(t, escapes, dims...)
+			var ref []byte
+			for _, w := range chunkedWidths() {
+				blob, err := compressSZ(f, 1e-3, false, w)
+				if err != nil {
+					t.Fatalf("%v w=%d: %v", dims, w, err)
+				}
+				if ref == nil {
+					ref = blob
+				} else if !bytes.Equal(blob, ref) {
+					t.Fatalf("%v escapes=%v: blob at w=%d differs from w=1", dims, escapes, w)
+				}
+			}
+			generic, err := compressSZ(f, 1e-3, true, 1)
+			if err != nil {
+				t.Fatalf("%v generic: %v", dims, err)
+			}
+			if !bytes.Equal(generic, ref) {
+				t.Fatalf("%v escapes=%v: generic-oracle blob differs from specialized", dims, escapes)
+			}
+		}
+	}
+}
+
+// TestSZChunkedRoundTrip: decode must be bit-identical at every worker width
+// and under the generic reconstruction oracle, and must honor the error
+// bound on every finite point.
+func TestSZChunkedRoundTrip(t *testing.T) {
+	const eb = 1e-3
+	for _, dims := range chunkedShapes {
+		for _, escapes := range []bool{false, true} {
+			f := regionTestField(t, escapes, dims...)
+			blob, err := New().Compress(f, eb)
+			if err != nil {
+				t.Fatalf("%v: %v", dims, err)
+			}
+			var ref *grid.Field
+			for _, w := range chunkedWidths() {
+				got, err := decompressSZ(blob, false, w)
+				if err != nil {
+					t.Fatalf("%v w=%d: %v", dims, w, err)
+				}
+				if ref == nil {
+					ref = got
+				} else {
+					for i := range ref.Data {
+						if math.Float32bits(got.Data[i]) != math.Float32bits(ref.Data[i]) {
+							t.Fatalf("%v escapes=%v w=%d: sample %d differs", dims, escapes, w, i)
+						}
+					}
+				}
+			}
+			generic, err := decompressSZ(blob, true, 1)
+			if err != nil {
+				t.Fatalf("%v generic: %v", dims, err)
+			}
+			for i := range ref.Data {
+				if math.Float32bits(generic.Data[i]) != math.Float32bits(ref.Data[i]) {
+					t.Fatalf("%v escapes=%v: generic-oracle decode differs at %d", dims, escapes, i)
+				}
+				orig := float64(f.Data[i])
+				if !math.IsNaN(orig) && !math.IsInf(orig, 0) {
+					if math.Abs(float64(ref.Data[i])-orig) > eb+1e-9 {
+						t.Fatalf("%v escapes=%v: error bound violated at %d", dims, escapes, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSZChunkedConstantField: a constant field collapses to near-nothing in
+// LZ, the degenerate case for per-chunk window resets.
+func TestSZChunkedConstantField(t *testing.T) {
+	f := grid.MustNew("flat", 48, 64, 64)
+	for i := range f.Data {
+		f.Data[i] = 3.25
+	}
+	blob, err := New().Compress(f, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SlabRows(blob) == 0 {
+		t.Fatal("constant 48×64×64 blob is not chunked")
+	}
+	got, err := (&Compressor{Workers: 2}).Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got.Data {
+		if math.Abs(float64(v)-3.25) > 1e-6 {
+			t.Fatalf("sample %d = %v", i, v)
+		}
+	}
+}
+
+// TestSZChunkedRegionMatchesFullDecode is the chunked counterpart of
+// TestSZDecompressRegionMatchesFullDecode: random regions out of chunked
+// blobs, with and without an index, must be bit-identical to the full decode.
+func TestSZChunkedRegionMatchesFullDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dims := range chunkedShapes {
+		for _, escapes := range []bool{false, true} {
+			f := regionTestField(t, escapes, dims...)
+			blob, err := New().Compress(f, 1e-3)
+			if err != nil {
+				t.Fatalf("%v: %v", dims, err)
+			}
+			if SlabRows(blob) == 0 {
+				t.Fatalf("%v: expected a chunked blob", dims)
+			}
+			full, err := New().Decompress(blob)
+			if err != nil {
+				t.Fatalf("%v: %v", dims, err)
+			}
+			index, err := BuildRegionIndex(blob)
+			if err != nil {
+				t.Fatalf("%v: index: %v", dims, err)
+			}
+			nd := len(dims)
+			lo, hi := make([]int, nd), make([]int, nd)
+			for trial := 0; trial < 20; trial++ {
+				for d := 0; d < nd; d++ {
+					lo[d] = rng.Intn(dims[d])
+					hi[d] = lo[d] + 1 + rng.Intn(dims[d]-lo[d])
+				}
+				if trial == 0 {
+					for d := 0; d < nd; d++ {
+						lo[d], hi[d] = 0, dims[d]
+					}
+				}
+				want, err := grid.SliceRegion(full, lo, hi)
+				if err != nil {
+					t.Fatalf("slice: %v", err)
+				}
+				for _, idx := range [][]byte{index, nil} {
+					got, err := DecompressRegion(blob, idx, lo, hi)
+					if err != nil {
+						t.Fatalf("%v escapes=%v region %v:%v (index=%v): %v", dims, escapes, lo, hi, idx != nil, err)
+					}
+					for i := range want.Data {
+						if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+							t.Fatalf("%v escapes=%v region %v:%v (index=%v): sample %d differs",
+								dims, escapes, lo, hi, idx != nil, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSZChunkedIndex pins the seedless index format for chunked blobs: slab
+// height equal to the chunk height, escape prefix sums, flag byte 2 per
+// boundary, and no seed planes (so the index is tiny and building it decodes
+// no samples).
+func TestSZChunkedIndex(t *testing.T) {
+	f := regionTestField(t, true, 48, 64, 64)
+	blob, err := New().Compress(f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := BuildRegionIndex(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(index) > 64 {
+		t.Fatalf("seedless index is %d bytes; expected escape counts only", len(index))
+	}
+	si, err := parseSZIndex(index, f.Dims, f.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si == nil {
+		t.Fatal("no index built for a chunked blob")
+	}
+	if si.T != SlabRows(blob) {
+		t.Fatalf("index slab height %d != chunk height %d", si.T, SlabRows(blob))
+	}
+	for i, fl := range si.flags {
+		if fl != 2 {
+			t.Fatalf("boundary %d flag = %d, want 2 (seed absent)", i+1, fl)
+		}
+	}
+	// A seedless index paired with a legacy whole-stream blob must be
+	// rejected when the decoder needs the seed it does not carry.
+	if _, err := si.seedPlane(1, 64*64); err == nil {
+		t.Fatal("seedPlane on a flag-2 boundary succeeded")
+	}
+	// Flag bytes outside {0,1,2} stay rejected.
+	bad := bytes.Clone(index)
+	bad[len(bad)-1] = 3
+	if _, err := parseSZIndex(bad, f.Dims, f.Size()); err == nil {
+		t.Fatal("flag byte 3 accepted")
+	}
+}

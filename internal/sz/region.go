@@ -4,19 +4,32 @@ package sz
 //
 // Lorenzo reconstruction is a prefix recurrence: every point predicts from
 // already-reconstructed neighbors, so decoding point p normally requires all
-// points before p. The region index breaks the recurrence at slab boundaries
-// along the slowest dimension by persisting, for each boundary, (a) the raw
-// escape-pool cursor at the boundary (varint delta-encoded) and (b) the
-// reconstructed hyperplane just before it — the predictor seed. A region
-// decode then entropy-decodes the (whole-stream) quantization codes, jumps to
-// the nearest boundary at or below the region, and reconstructs only rows
-// [slab start, hi[0]) instead of the entire field.
+// points before p.
 //
-// Bit-identity: the slab kernel accumulates the same stencil terms in the
+// For chunked blobs (szChunkLayout) the encoder already broke the recurrence:
+// the predictor resets at every slab boundary and the code stream lives in
+// the chunked entropy container with one chunk per slab. A region decode then
+// entropy-decodes only the chunks covering [slab(lo[0]), hi[0]) — O(region),
+// not O(stream) — and reconstructs each covering slab from its own chunk,
+// skipping the Lorenzo arithmetic for points outside the dependency-closed
+// prefix box [0, hi[d]) of the trailing dimensions (every predictor neighbor
+// sits at offset -1, so the box is closed under dependencies; skipped escape
+// codes still advance the raw-pool cursor). The region index shrinks to the
+// per-slab escape-pool cursors; without one, the decoder counts escapes from
+// the stream head, which costs entropy decode but no Lorenzo work.
+//
+// Legacy whole-stream blobs keep the original scheme: the index persists, per
+// boundary, the raw cursor and the reconstructed hyperplane just before it —
+// the predictor seed — and a region decode entropy-decodes the whole stream,
+// jumps to the nearest boundary at or below the region, and reconstructs only
+// rows [slab start, hi[0]).
+//
+// Bit-identity: the slab kernels accumulate the same stencil terms in the
 // same subset-mask order as lorenzo.predict (which the specialized kernels
-// are already pinned to), the quantize arithmetic is decPoint's, and the seed
-// plane holds exactly the values a full decode would have produced — so the
-// restarted recurrence is the full recurrence.
+// are already pinned to), the quantize arithmetic is decPoint's, and the
+// restart state (a chunked slab's reset predictor, a legacy seed plane) holds
+// exactly what a full decode would have produced — so the restarted
+// recurrence is the full recurrence.
 
 import (
 	"encoding/binary"
@@ -68,19 +81,61 @@ func slabHeight(nz, planeSize, blobLen int) int {
 //	uvarint nSlabs (= ceil(dims[0]/T))
 //	(nSlabs-1) × uvarint: escape count within each preceding slab (the raw
 //	    cursor at slab i's start is the sum of the first i counts)
-//	(nSlabs-1) × seed plane: 1 flag byte (0 raw | 1 entropy-compressed),
-//	    uvarint length, then the reconstructed float32 plane at row i·T-1
+//	(nSlabs-1) × seed plane: 1 flag byte (0 raw | 1 entropy-compressed |
+//	    2 absent), then — for flags 0 and 1 — uvarint length and the
+//	    reconstructed float32 plane at row i·T-1
+//
+// For a chunked blob the slab height is the blob's own chunk height, every
+// seed flag is 2 (the encoder's predictor resets replace the seed planes),
+// and no field decode happens at all — the index is just the escape-count
+// prefix sums, a few bytes per slab.
 func BuildRegionIndex(blob []byte) ([]byte, error) {
 	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
 	if err != nil {
 		return nil, fmt.Errorf("sz: %w", err)
 	}
-	codeBytes, _, _, err := parseSZSections(h.Dims, payload)
+	packed, _, _, err := splitSZSections(h.Dims, payload)
 	if err != nil {
 		return nil, err
 	}
+	chunkT, err := szSlabRowsFromPacked(packed, h.Dims)
+	if err != nil {
+		return nil, err
+	}
+	codeBytes, err := entropy.DecompressBytes(packed)
+	if err != nil {
+		return nil, fmt.Errorf("sz: decode codes: %w", err)
+	}
 	nz := h.Dims[0]
+	if len(codeBytes) != 2*elemCount(h.Dims) {
+		return nil, fmt.Errorf("sz: %w: %d code bytes for %d points", compress.ErrCorrupt, len(codeBytes), elemCount(h.Dims))
+	}
 	planeSize := elemCount(h.Dims) / nz
+	appendEscCounts := func(out []byte, T, nSlabs int) []byte {
+		for i := 1; i < nSlabs; i++ {
+			cnt := 0
+			for p := (i - 1) * T * planeSize; p < i*T*planeSize; p++ {
+				if binary.LittleEndian.Uint16(codeBytes[2*p:]) == 0 {
+					cnt++
+				}
+			}
+			out = binary.AppendUvarint(out, uint64(cnt))
+		}
+		return out
+	}
+	if chunkT > 0 {
+		nSlabs := (nz + chunkT - 1) / chunkT
+		if nSlabs < 2 {
+			return binary.AppendUvarint(nil, 0), nil
+		}
+		out := binary.AppendUvarint(nil, uint64(chunkT))
+		out = binary.AppendUvarint(out, uint64(nSlabs))
+		out = appendEscCounts(out, chunkT, nSlabs)
+		for i := 1; i < nSlabs; i++ {
+			out = append(out, 2)
+		}
+		return out, nil
+	}
 	T := slabHeight(nz, planeSize, len(blob))
 	out := binary.AppendUvarint(nil, uint64(T))
 	if T == 0 {
@@ -92,15 +147,7 @@ func BuildRegionIndex(blob []byte) ([]byte, error) {
 	}
 	nSlabs := (nz + T - 1) / T
 	out = binary.AppendUvarint(out, uint64(nSlabs))
-	for i := 1; i < nSlabs; i++ {
-		cnt := 0
-		for p := (i - 1) * T * planeSize; p < i*T*planeSize; p++ {
-			if binary.LittleEndian.Uint16(codeBytes[2*p:]) == 0 {
-				cnt++
-			}
-		}
-		out = binary.AppendUvarint(out, uint64(cnt))
-	}
+	out = appendEscCounts(out, T, nSlabs)
 	rawPlane := make([]byte, 4*planeSize)
 	for i := 1; i < nSlabs; i++ {
 		plane := rec.Data[(i*T-1)*planeSize : i*T*planeSize]
@@ -166,11 +213,18 @@ func parseSZIndex(index []byte, dims []int, n int) (*szIndex, error) {
 		}
 	}
 	for i := 1; i < int(nSlabs); i++ {
-		if len(rest) < 1 || rest[0] > 1 {
+		if len(rest) < 1 || rest[0] > 2 {
 			return nil, fmt.Errorf("sz: %w: seed flag", compress.ErrCorrupt)
 		}
 		flag := rest[0]
 		rest = rest[1:]
+		if flag == 2 {
+			// Chunked blob: the predictor resets at this boundary, so no
+			// seed plane is stored.
+			si.flags = append(si.flags, flag)
+			si.seeds = append(si.seeds, nil)
+			continue
+		}
 		ln, k := binary.Uvarint(rest)
 		if k <= 0 || uint64(len(rest)-k) < ln {
 			return nil, fmt.Errorf("sz: %w: seed plane %d", compress.ErrCorrupt, i)
@@ -189,6 +243,9 @@ func parseSZIndex(index []byte, dims []int, n int) (*szIndex, error) {
 // seedPlane returns the raw little-endian float32 bytes of the seed plane at
 // row s*T-1 (the boundary entering slab s >= 1).
 func (si *szIndex) seedPlane(s, planeSize int) ([]byte, error) {
+	if si.flags[s-1] == 2 {
+		return nil, fmt.Errorf("sz: %w: seedless index paired with a whole-stream blob", compress.ErrCorrupt)
+	}
 	data := si.seeds[s-1]
 	if si.flags[s-1] == 1 {
 		var err error
@@ -203,11 +260,34 @@ func (si *szIndex) seedPlane(s, planeSize int) ([]byte, error) {
 	return data, nil
 }
 
+// SlabRows reports the slab height of an sz blob whose code stream lives in
+// the chunked entropy container (each slab decodable on its own), or 0 for a
+// legacy whole-stream blob or anything unparseable. roi.Reader uses it to
+// choose between per-slab lazy materialization and a full decode.
+func SlabRows(blob []byte) int {
+	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
+	if err != nil {
+		return 0
+	}
+	packed, _, _, err := splitSZSections(h.Dims, payload)
+	if err != nil {
+		return 0
+	}
+	T, err := szSlabRowsFromPacked(packed, h.Dims)
+	if err != nil || T >= h.Dims[0] {
+		return 0
+	}
+	return T
+}
+
 // DecompressRegion decodes the half-open region [lo, hi) of an sz blob,
 // reconstructing only rows [slab(lo[0]), hi[0]) of the Lorenzo recurrence.
-// index may be nil or empty; reconstruction then restarts at row 0, which
-// still skips the rows past hi[0]. The output is bit-identical to the
-// corresponding slice of a full Decompress.
+// For chunked blobs only the entropy chunks covering those rows are decoded.
+// index may be nil or empty; a legacy blob then reconstructs from row 0
+// (still skipping the rows past hi[0]), and a chunked blob pays one extra
+// entropy pass over the preceding chunks to place the escape-pool cursor.
+// The output is bit-identical to the corresponding slice of a full
+// Decompress.
 func DecompressRegion(blob, index []byte, lo, hi []int) (*grid.Field, error) {
 	defer obs.Span("decompress/sz-region")()
 	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
@@ -217,13 +297,27 @@ func DecompressRegion(blob, index []byte, lo, hi []int) (*grid.Field, error) {
 	if err := grid.CheckRegion(h.Dims, lo, hi); err != nil {
 		return nil, fmt.Errorf("sz: %w", err)
 	}
-	codeBytes, rawPayload, nraw, err := parseSZSections(h.Dims, payload)
+	packed, rawPayload, nraw, err := splitSZSections(h.Dims, payload)
 	if err != nil {
 		return nil, err
 	}
 	n := elemCount(h.Dims)
 	nz := h.Dims[0]
 	planeSize := n / nz
+	chunkT, err := szSlabRowsFromPacked(packed, h.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if chunkT > 0 && chunkT < nz {
+		return decompressRegionChunked(h, packed, rawPayload, nraw, chunkT, index, lo, hi)
+	}
+	codeBytes, err := entropy.DecompressBytes(packed)
+	if err != nil {
+		return nil, fmt.Errorf("sz: decode codes: %w", err)
+	}
+	if len(codeBytes) != 2*n {
+		return nil, fmt.Errorf("sz: %w: %d code bytes for %d points", compress.ErrCorrupt, len(codeBytes), n)
+	}
 
 	z0, rawPos := 0, 0
 	var seed []byte
@@ -270,6 +364,126 @@ func DecompressRegion(blob, index []byte, lo, hi []int) (*grid.Field, error) {
 	vlo := append([]int{lo[0] - z0 + seedRows}, lo[1:]...)
 	vhi := append([]int{hi[0] - z0 + seedRows}, hi[1:]...)
 	return grid.SliceRegion(view, vlo, vhi)
+}
+
+// decompressRegionChunked is the region decoder for chunked blobs: slab
+// boundaries coincide with entropy-chunk boundaries and the predictor resets
+// at each one, so only the chunks covering rows [slab(lo[0]), hi[0]) are
+// entropy-decoded and each covering slab reconstructs independently. The
+// escape-pool cursor entering the first slab comes from the index when one is
+// present; otherwise the preceding chunks are entropy-decoded once, purely to
+// count their escape codes (no Lorenzo work).
+func decompressRegionChunked(h compress.Header, packed, rawPayload []byte, nraw uint64, chunkT int, index []byte, lo, hi []int) (*grid.Field, error) {
+	n := elemCount(h.Dims)
+	nz := h.Dims[0]
+	planeSize := n / nz
+	s0 := lo[0] / chunkT
+	z0 := s0 * chunkT
+	cum0 := -1
+	if len(index) > 0 {
+		si, err := parseSZIndex(index, h.Dims, n)
+		if err != nil {
+			return nil, err
+		}
+		if si != nil {
+			if si.T != chunkT {
+				return nil, fmt.Errorf("sz: %w: index slab height %d does not match chunk height %d", compress.ErrCorrupt, si.T, chunkT)
+			}
+			cum0 = si.cumEsc[s0]
+		}
+	}
+	decodeFrom := z0
+	if cum0 < 0 && z0 > 0 {
+		decodeFrom = 0 // no index: count escapes from the stream head
+	}
+	codes, err := entropy.DecompressBytesRange(packed, 2*decodeFrom*planeSize, 2*hi[0]*planeSize, 2*n, 1)
+	if err != nil {
+		return nil, fmt.Errorf("sz: decode codes: %w", err)
+	}
+	if cum0 < 0 {
+		cum0 = 0
+		for p := 0; p < (z0-decodeFrom)*planeSize; p++ {
+			if codes[2*p] == 0 && codes[2*p+1] == 0 {
+				cum0++
+			}
+		}
+		codes = codes[2*(z0-decodeFrom)*planeSize:]
+	}
+	if uint64(cum0) > nraw {
+		return nil, fmt.Errorf("sz: %w: index raw cursor", compress.ErrCorrupt)
+	}
+
+	rows := hi[0] - z0
+	buf := getF32s(rows * planeSize)
+	defer putF32s(buf)
+	rawPos := cum0
+	for zs := z0; zs < hi[0]; zs += chunkT {
+		ze := zs + chunkT
+		if ze > nz {
+			ze = nz
+		}
+		decRows := ze - zs
+		if zs+decRows > hi[0] {
+			decRows = hi[0] - zs
+		}
+		slabDims := append([]int{ze - zs}, h.Dims[1:]...)
+		rawPos, err = reconstructSlabPrefix(buf[(zs-z0)*planeSize:(zs-z0+decRows)*planeSize],
+			slabDims, h.Knob, hi[1:], codes[2*(zs-z0)*planeSize:], rawPayload, nraw, rawPos)
+		if err != nil {
+			return nil, err
+		}
+	}
+	obs.Inc("sz/region_decodes")
+	obs.Inc("sz/region_chunked_decodes")
+	obs.Add("sz/region_rows_decoded", int64(hi[0]-z0))
+	obs.Add("sz/region_rows_skipped", int64(z0+nz-hi[0]))
+
+	bufDims := append([]int{rows}, h.Dims[1:]...)
+	view, err := grid.FromData(h.Name, buf, bufDims...)
+	if err != nil {
+		return nil, fmt.Errorf("sz: %w", err)
+	}
+	vlo := append([]int{lo[0] - z0}, lo[1:]...)
+	vhi := append([]int{hi[0] - z0}, hi[1:]...)
+	return grid.SliceRegion(view, vlo, vhi)
+}
+
+// reconstructSlabPrefix reconstructs the leading len(buf) points of one
+// chunked slab. slabDims is the slab's full extent (the predictor geometry);
+// buf may stop short of it along dim 0 when the region does. Points outside
+// the prefix box [0, hiTail[d]) of the trailing dimensions are skipped —
+// every Lorenzo dependency of an in-box point is itself in-box, so their
+// values are never read — but their escape codes still advance the raw-pool
+// cursor to keep it exact for the points that are reconstructed. Returns the
+// cursor after the slab.
+func reconstructSlabPrefix(buf []float32, slabDims []int, eb float64, hiTail []int, codeBytes, rawPayload []byte, nraw uint64, rawPos int) (int, error) {
+	twoEB := 2 * eb
+	lor := newLorenzo(slabDims)
+	for lidx := range buf {
+		inBox := true
+		for d := 1; d < len(slabDims); d++ {
+			if lor.coord[d] >= hiTail[d-1] {
+				inBox = false
+				break
+			}
+		}
+		code := binary.LittleEndian.Uint16(codeBytes[2*lidx:])
+		if inBox {
+			if code != 0 {
+				buf[lidx] = float32(lor.predict(buf, lidx) + twoEB*float64(int(code)-radius))
+			} else {
+				if uint64(rawPos) >= nraw {
+					return 0, errRawExhausted()
+				}
+				buf[lidx] = math.Float32frombits(binary.LittleEndian.Uint32(rawPayload[4*rawPos:]))
+				rawPos++
+			}
+		} else if code == 0 {
+			rawPos++
+		}
+		lor.advance()
+	}
+	return rawPos, nil
 }
 
 // reconstructSlab runs the Lorenzo reconstruction over global rows

@@ -58,9 +58,62 @@ func (c *Compressor) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	return compressSZ(f, eb, false, pool.Workers(c.Workers))
 }
 
+// szSlabMinRows floors the slab height of a chunked blob: below it the
+// boundary planes (which quantize with one fewer predictor dimension) would
+// be a noticeable fraction of each slab and cost compression ratio.
+const szSlabMinRows = 8
+
+// szChunkLayout maps a field's shape onto the chunked-entropy container:
+// slabs of rowsPerSlab leading-dimension rows, each 2·planeSize·rowsPerSlab
+// code bytes — one entropy chunk per slab, sized near the container's target.
+// A field that does not fill two slabs stays in the legacy whole-stream
+// format (same size cutoff idiom as the wavefront kernels).
+func szChunkLayout(dims []int) (rowsPerSlab, nSlabs int) {
+	nz := dims[0]
+	if nz <= 0 {
+		return 0, 1
+	}
+	rowBytes := 2 * (elemCount(dims) / nz)
+	rowsPerSlab = entropy.ChunkTargetBytes / rowBytes
+	if rowsPerSlab < szSlabMinRows {
+		rowsPerSlab = szSlabMinRows
+	}
+	return rowsPerSlab, (nz + rowsPerSlab - 1) / rowsPerSlab
+}
+
+// szSlabRowsFromPacked recovers the slab height a chunked code stream was
+// encoded with (0 for a legacy whole-stream blob). The container is
+// self-describing: a chunked blob's block size is always a whole number of
+// rows, and its presence is the signal that the encoder reset the Lorenzo
+// predictor at every slab boundary.
+func szSlabRowsFromPacked(packed []byte, dims []int) (int, error) {
+	blockBytes := entropy.ChunkedBlockSize(packed)
+	if blockBytes == 0 {
+		return 0, nil
+	}
+	nz := dims[0]
+	if nz <= 0 {
+		return 0, fmt.Errorf("sz: %w: chunked stream for empty dims", compress.ErrCorrupt)
+	}
+	rowBytes := 2 * (elemCount(dims) / nz)
+	if rowBytes == 0 || blockBytes%rowBytes != 0 {
+		return 0, fmt.Errorf("sz: %w: chunk size %d is not a whole number of %d-byte rows", compress.ErrCorrupt, blockBytes, rowBytes)
+	}
+	return blockBytes / rowBytes, nil
+}
+
 // compressSZ is the Compress implementation; forceGeneric pins the
 // quantization pass to the N-d odometer oracle so tests can prove the
 // specialized kernels emit identical blobs.
+//
+// Fields spanning two or more slabs (szChunkLayout) quantize slab by slab
+// with the Lorenzo predictor reset at every slab boundary — each slab is an
+// independent sub-field — and the code stream is packed into the chunked
+// entropy container with one chunk per slab. That makes every slab decodable
+// from its own chunk alone: the full decoder fans slabs across workers and
+// the region decoder touches only the chunks covering the request. Smaller
+// fields keep the legacy whole-field predictor and whole-stream container
+// byte-identically.
 func compressSZ(f *grid.Field, eb float64, forceGeneric bool, workers int) ([]byte, error) {
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz: error bound must be a positive finite number, got %v", eb)
@@ -77,20 +130,54 @@ func compressSZ(f *grid.Field, eb float64, forceGeneric bool, workers int) ([]by
 	// the kernels never reallocate.
 	rawBuf := getF32s(n)[:0]
 	defer putF32s(rawBuf[:cap(rawBuf)])
-	var raw []float32
-	handled := false
-	if !forceGeneric {
-		raw, handled = quantizeFieldParallel(f, eb, codes, recon, rawBuf, workers)
-	}
-	if !handled {
-		raw = quantizeField(f, eb, codes, recon, rawBuf, forceGeneric)
+	raw := rawBuf
+	rowsPerSlab, nSlabs := szChunkLayout(f.Dims)
+	if nSlabs >= 2 {
+		obs.Inc("sz/chunked_encode")
+		nz := f.Dims[0]
+		ps := n / nz
+		subDims := append([]int(nil), f.Dims...)
+		for z0 := 0; z0 < nz; z0 += rowsPerSlab {
+			z1 := z0 + rowsPerSlab
+			if z1 > nz {
+				z1 = nz
+			}
+			subDims[0] = z1 - z0
+			sub, err := grid.FromData(f.Name, f.Data[z0*ps:z1*ps], subDims...)
+			if err != nil {
+				return nil, fmt.Errorf("sz: %w", err)
+			}
+			// Slabs run serially here (the escape pool appends in global
+			// row-major order); the wavefront inside each slab still fans out.
+			handled := false
+			if !forceGeneric {
+				raw, handled = quantizeFieldParallel(sub, eb, codes[z0*ps:z1*ps], recon[z0*ps:z1*ps], raw, workers)
+			}
+			if !handled {
+				raw = quantizeField(sub, eb, codes[z0*ps:z1*ps], recon[z0*ps:z1*ps], raw, forceGeneric)
+			}
+		}
+	} else {
+		handled := false
+		if !forceGeneric {
+			raw, handled = quantizeFieldParallel(f, eb, codes, recon, rawBuf, workers)
+		}
+		if !handled {
+			raw = quantizeField(f, eb, codes, recon, rawBuf, forceGeneric)
+		}
 	}
 
 	codeBytes := getScratchBytes(2 * n)
 	for i, c := range codes {
 		binary.LittleEndian.PutUint16(codeBytes[2*i:], c)
 	}
-	packedCodes, err := entropy.CompressBytesParallel(codeBytes, workers)
+	var packedCodes []byte
+	var err error
+	if nSlabs >= 2 {
+		packedCodes, err = entropy.CompressBytesBlocks(codeBytes, 2*rowsPerSlab*(n/f.Dims[0]), workers)
+	} else {
+		packedCodes, err = entropy.CompressBytesParallel(codeBytes, workers)
+	}
 	putScratchBytes(codeBytes)
 	if err != nil {
 		return nil, fmt.Errorf("sz: encode codes: %w", err)
@@ -114,12 +201,11 @@ func (c *Compressor) Decompress(blob []byte) (*grid.Field, error) {
 	return decompressSZ(blob, false, pool.Workers(c.Workers))
 }
 
-// parseSZSections splits an sz payload (everything after the common header)
-// into its entropy-decoded quantization codes and the raw escape pool, with
-// all the corruption checks Decompress performs. Shared by the full decoder,
-// the region decoder, and the region index builder so the three agree on the
-// container layout.
-func parseSZSections(dims []int, payload []byte) (codeBytes, rawPayload []byte, nraw uint64, err error) {
+// splitSZSections splits an sz payload (everything after the common header)
+// into its still-compressed code section and the raw escape pool, with the
+// container-level corruption checks but without entropy-decoding anything —
+// the region decoder seeks inside the packed stream instead of expanding it.
+func splitSZSections(dims []int, payload []byte) (packed, rawPayload []byte, nraw uint64, err error) {
 	if _, err := compress.CheckElems(dims, len(payload)); err != nil {
 		return nil, nil, 0, fmt.Errorf("sz: %w", err)
 	}
@@ -128,51 +214,147 @@ func parseSZSections(dims []int, payload []byte) (codeBytes, rawPayload []byte, 
 		return nil, nil, 0, fmt.Errorf("sz: %w: code section", compress.ErrCorrupt)
 	}
 	payload = payload[k:]
-	codeBytes, err = entropy.DecompressBytes(payload[:pcLen])
-	if err != nil {
-		return nil, nil, 0, fmt.Errorf("sz: decode codes: %w", err)
-	}
+	packed = payload[:pcLen]
 	payload = payload[pcLen:]
 	nraw, k = binary.Uvarint(payload)
 	if k <= 0 || uint64(len(payload)-k) < 4*nraw {
 		return nil, nil, 0, fmt.Errorf("sz: %w: raw section", compress.ErrCorrupt)
 	}
+	return packed, payload[k:], nraw, nil
+}
+
+// parseSZSections is splitSZSections plus the entropy decode of the code
+// section (fanning a chunked container's chunks over `workers`). Shared by
+// the full decoder, the region decoder, and the region index builder so the
+// three agree on the container layout.
+func parseSZSections(dims []int, payload []byte, workers int) (codeBytes, rawPayload []byte, nraw uint64, err error) {
+	packed, rawPayload, nraw, err := splitSZSections(dims, payload)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	codeBytes, err = entropy.DecompressBytesParallel(packed, workers)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("sz: decode codes: %w", err)
+	}
 	if len(codeBytes) != 2*elemCount(dims) {
 		return nil, nil, 0, fmt.Errorf("sz: %w: %d code bytes for %d points", compress.ErrCorrupt, len(codeBytes), elemCount(dims))
 	}
-	return codeBytes, payload[k:], nraw, nil
+	return codeBytes, rawPayload, nraw, nil
 }
 
 // decompressSZ is the Decompress implementation; forceGeneric pins the
 // reconstruction pass to the N-d odometer oracle (see compressSZ).
+//
+// A chunked blob (szSlabRowsFromPacked) reconstructs slab by slab: the
+// entropy chunks already fanned out inside parseSZSections, and the slabs —
+// independent sub-fields thanks to the encoder's predictor resets — fan out
+// here under the same worker budget, outer workers across slabs and inner
+// workers on each slab's wavefront via pool.Split.
 func decompressSZ(blob []byte, forceGeneric bool, workers int) (*grid.Field, error) {
 	defer obs.Span("decompress/sz")()
 	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ)
 	if err != nil {
 		return nil, fmt.Errorf("sz: %w", err)
 	}
-	codeBytes, payload, nraw, err := parseSZSections(h.Dims, payload)
+	packed, rawPayload, nraw, err := splitSZSections(h.Dims, payload)
 	if err != nil {
 		return nil, err
+	}
+	T, err := szSlabRowsFromPacked(packed, h.Dims)
+	if err != nil {
+		return nil, err
+	}
+	codeBytes, err := entropy.DecompressBytesParallel(packed, workers)
+	if err != nil {
+		return nil, fmt.Errorf("sz: decode codes: %w", err)
+	}
+	if len(codeBytes) != 2*elemCount(h.Dims) {
+		return nil, fmt.Errorf("sz: %w: %d code bytes for %d points", compress.ErrCorrupt, len(codeBytes), elemCount(h.Dims))
 	}
 	f, err := grid.New(h.Name, h.Dims...)
 	if err != nil {
 		return nil, fmt.Errorf("sz: %w", err)
 	}
+	if T > 0 {
+		if err := reconstructSlabs(f, h.Knob, codeBytes, rawPayload, nraw, T, workers, forceGeneric); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
 	handled := false
 	if !forceGeneric {
 		var perr error
-		handled, perr = reconstructFieldParallel(f, h.Knob, codeBytes, payload, nraw, workers)
+		handled, perr = reconstructFieldParallel(f, h.Knob, codeBytes, rawPayload, nraw, workers)
 		if perr != nil {
 			return nil, perr
 		}
 	}
 	if !handled {
-		if err := reconstructField(f, h.Knob, codeBytes, payload, nraw, forceGeneric); err != nil {
+		if err := reconstructField(f, h.Knob, codeBytes, rawPayload, nraw, forceGeneric); err != nil {
 			return nil, err
 		}
 	}
 	return f, nil
+}
+
+// reconstructSlabs rebuilds a chunked blob's field slab by slab. Each slab's
+// escape-pool cursor comes from a prescan of the already-decoded code stream
+// (escapes appear in global row-major order), so slabs reconstruct in any
+// order and therefore in parallel.
+func reconstructSlabs(f *grid.Field, eb float64, codeBytes, rawPayload []byte, nraw uint64, T, workers int, forceGeneric bool) error {
+	nz := f.Dims[0]
+	ps := len(f.Data) / nz
+	nSlabs := (nz + T - 1) / T
+	starts, total := prescanEscapes(codeBytes, nSlabs, func(s int) (start, count, stride int) {
+		z0 := s * T
+		z1 := z0 + T
+		if z1 > nz {
+			z1 = nz
+		}
+		return z0 * ps, (z1 - z0) * ps, 1
+	})
+	if uint64(total) > nraw {
+		return errRawExhausted()
+	}
+	outer, inner := pool.Split(workers, nSlabs)
+	errs := make([]error, nSlabs)
+	pool.Run(outer, nSlabs, func(s int) {
+		z0 := s * T
+		z1 := z0 + T
+		if z1 > nz {
+			z1 = nz
+		}
+		subDims := append([]int(nil), f.Dims...)
+		subDims[0] = z1 - z0
+		sub, err := grid.FromData(f.Name, f.Data[z0*ps:z1*ps], subDims...)
+		if err != nil {
+			errs[s] = fmt.Errorf("sz: %w", err)
+			return
+		}
+		next := int(nraw)
+		if s+1 < nSlabs {
+			next = starts[s+1]
+		}
+		subRaw := rawPayload[4*starts[s]:]
+		subNraw := uint64(next - starts[s])
+		subCodes := codeBytes[2*z0*ps : 2*z1*ps]
+		handled := false
+		if !forceGeneric {
+			handled, errs[s] = reconstructFieldParallel(sub, eb, subCodes, subRaw, subNraw, inner)
+			if errs[s] != nil {
+				return
+			}
+		}
+		if !handled {
+			errs[s] = reconstructField(sub, eb, subCodes, subRaw, subNraw, forceGeneric)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // lorenzo evaluates the N-dimensional Lorenzo predictor at successive

@@ -151,13 +151,16 @@ func (c *V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	for i, c := range codes {
 		binary.LittleEndian.PutUint16(codeBytes[2*i:], c)
 	}
+	// Both streams use the chunked container (legacy below its cutoff): sz2
+	// reconstruction is a serial block walk, but the entropy stage no longer
+	// has to be — Decompress fans the chunks of each stream across workers.
 	workers := pool.Workers(c.Workers)
-	packedCodes, err := entropy.CompressBytesParallel(codeBytes, workers)
+	packedCodes, err := entropy.CompressBytesChunked(codeBytes, workers)
 	putScratchBytes(codeBytes)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: encode codes: %w", err)
 	}
-	packedCoeffs, err := entropy.CompressBytesParallel(coeffCodes, workers)
+	packedCoeffs, err := entropy.CompressBytesChunked(coeffCodes, workers)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: encode coefficients: %w", err)
 	}
@@ -176,9 +179,12 @@ func (c *V2) Compress(f *grid.Field, eb float64) ([]byte, error) {
 	return out, nil
 }
 
-// Decompress implements compress.Compressor.
-func (*V2) Decompress(blob []byte) (*grid.Field, error) {
+// Decompress implements compress.Compressor. The blockwise reconstruction
+// walk is inherently serial, but chunked entropy streams decode across the
+// worker budget first.
+func (c *V2) Decompress(blob []byte) (*grid.Field, error) {
 	defer obs.Span("decompress/sz2")()
+	workers := pool.Workers(c.Workers)
 	h, payload, err := compress.ParseHeader(blob, compress.MagicSZ2)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: %w", err)
@@ -203,7 +209,7 @@ func (*V2) Decompress(blob []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	coeffCodes, err := entropy.DecompressBytes(packedCoeffs)
+	coeffCodes, err := entropy.DecompressBytesParallel(packedCoeffs, workers)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: decode coefficients: %w", err)
 	}
@@ -211,7 +217,7 @@ func (*V2) Decompress(blob []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	codeBytes, err := entropy.DecompressBytes(packedCodes)
+	codeBytes, err := entropy.DecompressBytesParallel(packedCodes, workers)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: decode codes: %w", err)
 	}

@@ -13,10 +13,10 @@ import (
 // versus decoding the whole field through the same entry point. The full/
 // eighth pair is measured within one run, so the ratio gates on any machine;
 // BENCH_roi.json records it and `make bench-roi` fails if the eighth-volume
-// speedup regresses. The zfp pair carries the headline floor (seeking skips
-// both decode and entropy work); the sz pair is recorded honestly — its
-// entropy stage is whole-stream, so only the Lorenzo reconstruction scales
-// with the region.
+// speedup regresses. Both pairs carry benchguard floors: zfp seeks its own
+// 4³ blocks, and sz's chunked entropy container now seeks too — a region
+// decode entropy-decodes only the chunks covering its slabs and skips the
+// Lorenzo arithmetic outside the region's prefix box.
 func BenchmarkRegionDecode(b *testing.B) {
 	f, err := datagen.NyxField("baryon_density", 1, 2, 64)
 	if err != nil {
