@@ -4,7 +4,7 @@
 # The CI workflow (.github/workflows/ci.yml) runs lint, verify, verify-race,
 # cover and the bench-smoke/benchguard pair on every push and pull request.
 
-.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-roi bench-entropy bench-load bench-smoke benchguard fuzz-smoke
+.PHONY: verify verify-race lint cover bench-train bench-kernels bench-compress bench-serve bench-roi bench-entropy bench-load bench-shard bench-smoke benchguard fuzz-smoke
 
 verify:
 	go build ./... && go test ./...
@@ -114,6 +114,23 @@ bench-load:
 		-out BENCH_load.json
 	go run ./cmd/benchguard BENCH_load.json
 
+# Re-record the BENCH_shard.json scatter-gather comparison and gate it:
+# fxrzload drives the same batch workload against one in-process instance and
+# then a 2-instance shard ring (same trained model, items carrying distinct
+# shard keys so batches actually split), records the amortized per-item
+# p50/p99 for both, and writes the sharded/single p50 ratio with the overhead
+# cap baked in; benchguard then validates the file. The ratio is a within-run
+# comparison, so it gates on any machine. Run this (and commit the JSON)
+# after touching internal/shard or the batch serving paths.
+SHARDTIME ?= 5s
+bench-shard:
+	go run ./cmd/fxrzload -selfserve -shards 2 -batch 8 \
+		-duration $(SHARDTIME) -concurrency 8 -max-inflight 8 -seed 1 \
+		-mix 80:10:10 -overhead-cap 3 \
+		-note "recorded via 'make bench-shard' (fxrzload -shard-out) on the PR container" \
+		-shard-out BENCH_shard.json
+	go run ./cmd/benchguard BENCH_shard.json
+
 # Short fuzzing burst over every Fuzz* target, starting from the committed
 # seed corpora (regenerate seeds with `go run ./cmd/genfixtures`). Each
 # target runs for FUZZTIME (default 20s); a crasher fails the run and leaves
@@ -133,4 +150,4 @@ fuzz-smoke:
 # Validate the recorded baseline files stay machine-readable and keep their
 # speedup floors.
 benchguard:
-	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json BENCH_roi.json BENCH_entropy.json BENCH_load.json
+	go run ./cmd/benchguard BENCH_train.json BENCH_kernels.json BENCH_compress.json BENCH_serve.json BENCH_roi.json BENCH_entropy.json BENCH_load.json BENCH_shard.json

@@ -149,13 +149,13 @@ func TestUnknownSchemaListsKnownShapes(t *testing.T) {
 	if err == nil {
 		t.Fatal("schema-less baseline accepted")
 	}
-	for _, key := range []string{"results", "kernels", "codecs", "endpoints", "regions", "load"} {
+	for _, key := range []string{"results", "kernels", "codecs", "endpoints", "regions", "load", "shard"} {
 		if !strings.Contains(err.Error(), `"`+key+`"`) {
 			t.Errorf("unknown-schema error does not mention %q:\n%v", key, err)
 		}
 	}
 	for _, file := range []string{"BENCH_train.json", "BENCH_kernels.json", "BENCH_compress.json",
-		"BENCH_serve.json", "BENCH_roi.json", "BENCH_load.json"} {
+		"BENCH_serve.json", "BENCH_roi.json", "BENCH_load.json", "BENCH_shard.json"} {
 		if !strings.Contains(err.Error(), file) {
 			t.Errorf("unknown-schema error does not mention %s:\n%v", file, err)
 		}

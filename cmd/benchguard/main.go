@@ -277,6 +277,7 @@ var requiredKernels = []string{"sz_quantize_3d", "zfp_encode_ints", "huffman_dec
 // top-level field whose presence selects it. The unknown-schema error prints
 // this so a misspelled or half-written baseline says what would have matched.
 var knownSchemas = []struct{ key, desc string }{
+	{"shard", "sharded-serving comparison baseline (BENCH_shard.json)"},
 	{"load", "fxrzload mixed-load baseline (BENCH_load.json)"},
 	{"entropy", "chunked-entropy decode baseline (BENCH_entropy.json)"},
 	{"regions", "region-decode baseline (BENCH_roi.json)"},
@@ -298,11 +299,14 @@ func validate(raw []byte) error {
 		Regions   []json.RawMessage `json:"regions"`
 		Entropy   []json.RawMessage `json:"entropy"`
 		Load      json.RawMessage   `json:"load"`
+		Shard     json.RawMessage   `json:"shard"`
 	}
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		return fmt.Errorf("not valid JSON: %w", err)
 	}
 	switch {
+	case probe.Shard != nil:
+		return validateShard(raw)
 	case probe.Load != nil:
 		return validateLoad(raw)
 	case probe.Entropy != nil:
@@ -468,6 +472,125 @@ func validateLoad(raw []byte) error {
 		if !seen[name] {
 			return fmt.Errorf("missing required endpoint %q", name)
 		}
+	}
+	return nil
+}
+
+// shardBaseline mirrors the schema of BENCH_shard.json, recorded by
+// cmd/fxrzload -shard-out: the same batch workload driven against one
+// instance and against a peered shard ring, with the sharded/single per-item
+// p50 ratio recorded as the scatter-gather overhead. Both runs happen within
+// one invocation on one machine, so — like the serve overheads — the ratio
+// gates anywhere, while absolute latencies from a small recorder
+// (< multiCoreMin cores) must carry a qualifying runner.note.
+type shardBaseline struct {
+	Benchmark string         `json:"benchmark"`
+	Date      string         `json:"date"`
+	Runner    compressRunner `json:"runner"`
+	Shard     shardSummary   `json:"shard"`
+}
+
+type shardSummary struct {
+	Mix         string     `json:"mix"`
+	Batch       int        `json:"batch"`
+	Concurrency int        `json:"concurrency"`
+	Runs        []shardRun `json:"runs"`
+	OverheadP50 float64    `json:"overhead_p50"`
+	OverheadCap float64    `json:"overhead_cap"`
+}
+
+type shardRun struct {
+	Shards    int     `json:"shards"`
+	DurationS float64 `json:"duration_s"`
+	Items     int     `json:"items"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	ItemP50MS float64 `json:"item_p50_ms"`
+	ItemP99MS float64 `json:"item_p99_ms"`
+}
+
+func validateShard(raw []byte) error {
+	var b shardBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if err := validateCommon(b.Benchmark, b.Date); err != nil {
+		return err
+	}
+	if b.Runner.Cores <= 0 {
+		return fmt.Errorf("runner.cores must be > 0, got %d", b.Runner.Cores)
+	}
+	if b.Runner.Cores < multiCoreMin && b.Runner.Note == "" {
+		return fmt.Errorf("runner has %d cores (< %d): a runner.note qualifying the latency percentiles is required",
+			b.Runner.Cores, multiCoreMin)
+	}
+	s := b.Shard
+	if s.Mix == "" {
+		return fmt.Errorf("missing required field %q", "shard.mix")
+	}
+	if s.Batch < 2 {
+		return fmt.Errorf("shard.batch must be >= 2 (the comparison measures the /v1/*-many scatter path), got %d", s.Batch)
+	}
+	if s.Concurrency <= 0 {
+		return fmt.Errorf("shard.concurrency must be > 0, got %d", s.Concurrency)
+	}
+	if len(s.Runs) < 2 {
+		return fmt.Errorf("shard.runs must record the single-instance run and at least one sharded run, got %d", len(s.Runs))
+	}
+	seen := make(map[int]bool, len(s.Runs))
+	for i, r := range s.Runs {
+		if r.Shards <= 0 {
+			return fmt.Errorf("runs[%d]: shards must be > 0, got %d", i, r.Shards)
+		}
+		if seen[r.Shards] {
+			return fmt.Errorf("runs[%d]: duplicate entry for shards=%d", i, r.Shards)
+		}
+		seen[r.Shards] = true
+		if i > 0 && r.Shards <= s.Runs[i-1].Shards {
+			return fmt.Errorf("runs[%d]: shard counts must be ascending, got %d after %d", i, r.Shards, s.Runs[i-1].Shards)
+		}
+		if !(r.DurationS > 0) {
+			return fmt.Errorf("runs[%d] (shards=%d): duration_s must be > 0, got %v", i, r.Shards, r.DurationS)
+		}
+		if r.Items <= 0 {
+			return fmt.Errorf("runs[%d] (shards=%d): items must be > 0, got %d", i, r.Shards, r.Items)
+		}
+		if r.OK <= 0 {
+			return fmt.Errorf("runs[%d] (shards=%d): ok must be > 0: a run with no successful item measured nothing", i, r.Shards)
+		}
+		if r.Errors != 0 {
+			return fmt.Errorf("runs[%d] (shards=%d): errors = %d: a clean baseline has none (shed 429s are counted separately)", i, r.Shards, r.Errors)
+		}
+		if r.Items != r.OK+r.Shed+r.Errors {
+			return fmt.Errorf("runs[%d] (shards=%d): counts inconsistent: items %d != ok %d + shed %d + errors %d",
+				i, r.Shards, r.Items, r.OK, r.Shed, r.Errors)
+		}
+		if !(r.ItemP50MS > 0) || r.ItemP50MS > r.ItemP99MS {
+			return fmt.Errorf("runs[%d] (shards=%d): percentiles must satisfy 0 < item_p50 <= item_p99, got %v/%v",
+				i, r.Shards, r.ItemP50MS, r.ItemP99MS)
+		}
+	}
+	if s.Runs[0].Shards != 1 {
+		return fmt.Errorf("runs[0] must be the single-instance run (shards=1), got shards=%d", s.Runs[0].Shards)
+	}
+	last := s.Runs[len(s.Runs)-1]
+	if last.Shards < 2 {
+		return fmt.Errorf("no sharded run recorded: the last run must have shards >= 2, got %d", last.Shards)
+	}
+	if !(s.OverheadP50 > 0) {
+		return fmt.Errorf("shard.overhead_p50 must be > 0, got %v", s.OverheadP50)
+	}
+	// The recorder rounds the overhead to two decimals, so the check is
+	// absolute, not relative: a rounded value is within 0.005 of the ratio.
+	if ratio := last.ItemP50MS / s.Runs[0].ItemP50MS; s.OverheadP50 < ratio-0.011 || s.OverheadP50 > ratio+0.011 {
+		return fmt.Errorf("shard.overhead_p50 %.3f inconsistent with the sharded/single p50 ratio %.3f", s.OverheadP50, ratio)
+	}
+	if s.OverheadCap < 0 {
+		return fmt.Errorf("shard.overhead_cap must be >= 0, got %v", s.OverheadCap)
+	}
+	if s.OverheadCap > 0 && s.OverheadP50 > s.OverheadCap {
+		return fmt.Errorf("scatter-gather overhead %.2fx exceeds the recorded %.2fx cap", s.OverheadP50, s.OverheadCap)
 	}
 	return nil
 }

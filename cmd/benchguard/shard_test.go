@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fullShard builds a valid shard-comparison baseline, optionally mutated, as
+// JSON. The fixture's arithmetic is exactly consistent (items = ok + shed,
+// overhead = sharded/single p50 ratio) so each mutation isolates one rule.
+func fullShard(t *testing.T, mutate func(b *shardBaseline)) string {
+	t.Helper()
+	b := shardBaseline{
+		Benchmark: "fxrzd sharded serving tier (fxrzload -shard-out)",
+		Date:      "2026-08-08",
+		Runner:    compressRunner{CPU: "test-cpu", Cores: 8},
+		Shard: shardSummary{
+			Mix:         "80:10:10",
+			Batch:       8,
+			Concurrency: 4,
+			Runs: []shardRun{
+				{Shards: 1, DurationS: 5, Items: 4000, OK: 3900, Shed: 100, ItemP50MS: 0.5, ItemP99MS: 2},
+				{Shards: 2, DurationS: 5, Items: 3000, OK: 2950, Shed: 50, ItemP50MS: 0.75, ItemP99MS: 3},
+			},
+			OverheadP50: 1.5,
+			OverheadCap: 3,
+		},
+	}
+	if mutate != nil {
+		mutate(&b)
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestValidateShardAccepts(t *testing.T) {
+	if err := validate([]byte(fullShard(t, nil))); err != nil {
+		t.Fatalf("valid shard baseline rejected: %v", err)
+	}
+	// The cap is optional: a baseline recorded without a gate still validates.
+	uncapped := fullShard(t, func(b *shardBaseline) { b.Shard.OverheadCap = 0 })
+	if err := validate([]byte(uncapped)); err != nil {
+		t.Fatalf("uncapped shard baseline rejected: %v", err)
+	}
+	// A small recorder passes when it carries the qualifying note.
+	small := fullShard(t, func(b *shardBaseline) {
+		b.Runner.Cores = 2
+		b.Runner.Note = "2-core container: absolute latencies indicative only"
+	})
+	if err := validate([]byte(small)); err != nil {
+		t.Fatalf("noted 2-core shard baseline rejected: %v", err)
+	}
+	// More than two runs are legal as long as shard counts ascend from 1.
+	three := fullShard(t, func(b *shardBaseline) {
+		b.Shard.Runs = append(b.Shard.Runs,
+			shardRun{Shards: 4, DurationS: 5, Items: 2000, OK: 2000, ItemP50MS: 1.0, ItemP99MS: 4})
+		b.Shard.OverheadP50 = 2.0
+	})
+	if err := validate([]byte(three)); err != nil {
+		t.Fatalf("three-run shard baseline rejected: %v", err)
+	}
+}
+
+func TestValidateShardRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(b *shardBaseline)
+		wantErr string
+	}{
+		{"no benchmark", func(b *shardBaseline) { b.Benchmark = "" }, `missing required field "benchmark"`},
+		{"bad date", func(b *shardBaseline) { b.Date = "08/08/2026" }, "not YYYY-MM-DD"},
+		{"zero cores", func(b *shardBaseline) { b.Runner.Cores = 0 }, "runner.cores must be > 0"},
+		{"small runner, no note", func(b *shardBaseline) { b.Runner.Cores = 2; b.Runner.Note = "" }, "runner.note"},
+		{"no mix", func(b *shardBaseline) { b.Shard.Mix = "" }, `missing required field "shard.mix"`},
+		{"single-item batch", func(b *shardBaseline) { b.Shard.Batch = 1 }, "batch must be >= 2"},
+		{"zero concurrency", func(b *shardBaseline) { b.Shard.Concurrency = 0 }, "concurrency must be > 0"},
+		{"one run only", func(b *shardBaseline) { b.Shard.Runs = b.Shard.Runs[:1] }, "at least one sharded run"},
+		{"zero shard count", func(b *shardBaseline) { b.Shard.Runs[0].Shards = 0 }, "shards must be > 0"},
+		{"duplicate shard count", func(b *shardBaseline) {
+			b.Shard.Runs[1] = b.Shard.Runs[0]
+		}, "duplicate entry for shards=1"},
+		{"descending shard counts", func(b *shardBaseline) {
+			b.Shard.Runs[0].Shards, b.Shard.Runs[1].Shards = 2, 1
+		}, "ascending"},
+		{"zero duration", func(b *shardBaseline) { b.Shard.Runs[0].DurationS = 0 }, "duration_s must be > 0"},
+		{"no items", func(b *shardBaseline) {
+			b.Shard.Runs[1].Items, b.Shard.Runs[1].OK, b.Shard.Runs[1].Shed = 0, 0, 0
+		}, "items must be > 0"},
+		{"no successes", func(b *shardBaseline) {
+			b.Shard.Runs[1].OK = 0
+			b.Shard.Runs[1].Shed = 3000
+		}, "ok must be > 0"},
+		{"errors present", func(b *shardBaseline) {
+			b.Shard.Runs[1].Errors = 3
+			b.Shard.Runs[1].Shed = 47
+		}, "a clean baseline has none"},
+		{"counts inconsistent", func(b *shardBaseline) { b.Shard.Runs[1].Shed = 51 }, "counts inconsistent"},
+		{"zero p50", func(b *shardBaseline) { b.Shard.Runs[0].ItemP50MS = 0 }, "item_p50 <= item_p99"},
+		{"non-monotone percentiles", func(b *shardBaseline) { b.Shard.Runs[0].ItemP99MS = 0.1 }, "item_p50 <= item_p99"},
+		{"first run sharded", func(b *shardBaseline) {
+			b.Shard.Runs[0].Shards = 3
+			b.Shard.Runs[1].Shards = 4
+		}, "runs[0] must be the single-instance run"},
+		{"zero overhead", func(b *shardBaseline) { b.Shard.OverheadP50 = 0 }, "overhead_p50 must be > 0"},
+		{"overhead inconsistent", func(b *shardBaseline) { b.Shard.OverheadP50 = 2.5 }, "inconsistent with the sharded/single p50 ratio"},
+		{"negative cap", func(b *shardBaseline) { b.Shard.OverheadCap = -1 }, "overhead_cap must be >= 0"},
+		{"overhead over cap", func(b *shardBaseline) { b.Shard.OverheadCap = 1.2 }, "exceeds the recorded 1.20x cap"},
+	}
+	for _, tc := range cases {
+		err := validate([]byte(fullShard(t, tc.mutate)))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestValidateShardDispatch: the probe must route a "shard"-keyed baseline to
+// the shard validator before any other schema gets a chance to reject it.
+func TestValidateShardDispatch(t *testing.T) {
+	err := validate([]byte(fullShard(t, func(b *shardBaseline) { b.Shard.Runs[1].Shed = 51 })))
+	if err == nil || !strings.Contains(err.Error(), "shards=2") {
+		t.Fatalf("err = %v, want a shard-schema error (dispatch went elsewhere?)", err)
+	}
+}
+
+func TestRecordedShardBaselineIsValid(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_shard.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(raw); err != nil {
+		t.Fatalf("BENCH_shard.json: %v", err)
+	}
+}

@@ -33,13 +33,16 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof flag)
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/fxrz-go/fxrz/internal/obs"
 	"github.com/fxrz-go/fxrz/internal/serve"
+	"github.com/fxrz-go/fxrz/internal/shard"
 )
 
 func main() {
@@ -61,6 +64,7 @@ type options struct {
 // parseFlags validates the command line into options.
 func parseFlags(args []string) (options, error) {
 	var o options
+	var peers string
 	fs := flag.NewFlagSet("fxrzd", flag.ContinueOnError)
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&o.cfg.ModelsDir, "models", "", "directory of .fxm model files (required)")
@@ -72,6 +76,8 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.cfg.RatePerClient, "rate", 0, "per-client request budget on heavy endpoints in req/s (0 = no rate limiting)")
 	fs.IntVar(&o.cfg.RateBurst, "rate-burst", 0, "per-client token-bucket burst (0 = ceil of -rate)")
 	fs.IntVar(&o.cfg.MaxBatch, "max-batch", 64, "max items per /v1/*-many batch request (larger batches get 413)")
+	fs.StringVar(&peers, "peers", "", "comma-separated base URLs of every fxrzd in the shard ring, this instance included (empty = single instance)")
+	fs.StringVar(&o.cfg.Self, "self", "", "this instance's own entry in -peers (required with -peers)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-shutdown drain budget")
 	fs.StringVar(&o.obsJSON, "obs-json", "", "write an observability snapshot (JSON) to this file on exit")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this extra address")
@@ -105,6 +111,25 @@ func parseFlags(args []string) (options, error) {
 	if o.cfg.MaxBatch < 1 {
 		return o, fmt.Errorf("-max-batch must be >= 1, got %d", o.cfg.MaxBatch)
 	}
+	if peers != "" {
+		for _, p := range strings.Split(peers, ",") {
+			p = strings.TrimSpace(p)
+			if u, err := url.Parse(p); err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+				return o, fmt.Errorf("-peers entry %q must be an absolute http(s) base URL", p)
+			}
+			o.cfg.Peers = append(o.cfg.Peers, p)
+		}
+		if o.cfg.Self == "" {
+			return o, fmt.Errorf("-self is required with -peers (this instance's own entry in the ring)")
+		}
+		// Validate the ring here so a bad peer list fails at startup with a
+		// flag error, not a panic inside serve.NewServer.
+		if _, err := shard.NewRing(o.cfg.Self, o.cfg.Peers); err != nil {
+			return o, err
+		}
+	} else if o.cfg.Self != "" {
+		return o, fmt.Errorf("-self without -peers: a ring of one needs no routing")
+	}
 	return o, nil
 }
 
@@ -128,6 +153,9 @@ func run(args []string) error {
 	s := serve.NewServer(o.cfg)
 	if models, err := s.Registry().List(); err == nil {
 		fmt.Fprintf(os.Stderr, "fxrzd: serving %d model(s) from %s\n", len(models), o.cfg.ModelsDir)
+	}
+	if len(o.cfg.Peers) > 0 {
+		fmt.Fprintf(os.Stderr, "fxrzd: shard ring of %d (self %s)\n", len(o.cfg.Peers), o.cfg.Self)
 	}
 	srv := &http.Server{
 		Addr:              o.addr,

@@ -65,11 +65,32 @@ func TestParseFlagsRejections(t *testing.T) {
 		"negative rate":        {"-models", dir, "-rate", "-1"},
 		"negative rate burst":  {"-models", dir, "-rate-burst", "-3"},
 		"zero max-batch":       {"-models", dir, "-max-batch", "0"},
+		"peers without self":   {"-models", dir, "-peers", "http://a:1,http://b:2"},
+		"self without peers":   {"-models", dir, "-self", "http://a:1"},
+		"self not in peers":    {"-models", dir, "-peers", "http://a:1,http://b:2", "-self", "http://c:3"},
+		"relative peer url":    {"-models", dir, "-peers", "a:1,http://b:2", "-self", "http://b:2"},
+		"non-http peer url":    {"-models", dir, "-peers", "ftp://a:1,http://b:2", "-self", "http://b:2"},
+		"duplicate peer":       {"-models", dir, "-peers", "http://a:1,http://a:1", "-self", "http://a:1"},
 	}
 	for name, args := range cases {
 		if _, err := parseFlags(args); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestParseFlagsShardRing(t *testing.T) {
+	dir := t.TempDir()
+	o, err := parseFlags([]string{"-models", dir,
+		"-peers", "http://10.0.0.1:8080, http://10.0.0.2:8080", "-self", "http://10.0.0.2:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.cfg.Peers) != 2 || o.cfg.Peers[0] != "http://10.0.0.1:8080" || o.cfg.Peers[1] != "http://10.0.0.2:8080" {
+		t.Errorf("peers = %v (whitespace around commas must be trimmed)", o.cfg.Peers)
+	}
+	if o.cfg.Self != "http://10.0.0.2:8080" {
+		t.Errorf("self = %q", o.cfg.Self)
 	}
 }
 

@@ -5,14 +5,22 @@
 // the QoS classes and rate limits in fxrzd are only claims until a saturating
 // mixed workload shows estimates completing while packs shed.
 //
-// Two modes:
+// Three modes:
 //
 //	fxrzload -addr http://host:8080 -model nyx-sz -target 8    # external fxrzd
 //	fxrzload -selfserve -duration 10s -out BENCH_load.json     # in-process fxrzd
+//	fxrzload -selfserve -shards 2 -batch 8 -shard-out BENCH_shard.json
+//	                                                           # 1-vs-N shard compare
 //
 // -selfserve trains a small model once, mounts a real fxrzd handler on a
 // loopback listener, and aims the workload at it — the mode CI uses, no
 // daemon required. -rate, -max-inflight and -parallelism shape that server.
+// -shards N mounts N such instances peered into one static shard ring;
+// -addr also accepts a comma-separated list of bases, and in both cases the
+// workers round-robin across the targets. -shard-out runs the same batch
+// workload against one instance and then a -shards ring and records the
+// amortized per-item latency both ways plus the sharded/single p50 overhead
+// ratio — the measured price of scatter-gather fan-out.
 //
 // The mix is -mix "estimate:unpack:pack" weights; -region-frac turns that
 // fraction of unpack requests into region (partial) decodes. -batch N (N > 1)
@@ -141,7 +149,11 @@ func parseCaps(s string) (map[string]float64, error) {
 // options is the parsed flag set.
 type options struct {
 	addr        string
+	targets     []string // parsed -addr entries (round-robin across workers)
 	selfserve   bool
+	shards      int
+	shardOut    string
+	overheadCap float64
 	model       string
 	target      float64
 	concurrency int
@@ -166,8 +178,11 @@ func parseFlags(args []string) (options, error) {
 	var o options
 	var mixStr, capsStr string
 	fs := flag.NewFlagSet("fxrzload", flag.ContinueOnError)
-	fs.StringVar(&o.addr, "addr", "", "base URL of a running fxrzd (e.g. http://127.0.0.1:8080)")
+	fs.StringVar(&o.addr, "addr", "", "base URL(s) of running fxrzd instance(s), comma-separated; workers round-robin across them")
 	fs.BoolVar(&o.selfserve, "selfserve", false, "train a small model and serve it in-process instead of -addr")
+	fs.IntVar(&o.shards, "shards", 1, "selfserve: number of in-process instances peered into one shard ring")
+	fs.StringVar(&o.shardOut, "shard-out", "", "selfserve batch mode: drive 1 shard and then -shards shards, write the comparison baseline (JSON) to this file")
+	fs.Float64Var(&o.overheadCap, "overhead-cap", 0, "max tolerated sharded/single per-item p50 ratio recorded into the shard baseline (0 = none)")
 	fs.StringVar(&o.model, "model", "", "model ID to drive (default \"loadtest\" with -selfserve)")
 	fs.Float64Var(&o.target, "target", 0, "target compression ratio (0 with -selfserve = middle of the model's valid range)")
 	fs.IntVar(&o.concurrency, "concurrency", 8, "concurrent workers, each a distinct rate-limiter client")
@@ -206,6 +221,13 @@ func parseFlags(args []string) (options, error) {
 		if o.addr == "" {
 			return o, fmt.Errorf("either -addr or -selfserve is required")
 		}
+		for _, a := range strings.Split(o.addr, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return o, fmt.Errorf("-addr %q has an empty entry", o.addr)
+			}
+			o.targets = append(o.targets, a)
+		}
 		if o.model == "" {
 			return o, fmt.Errorf("-model is required without -selfserve")
 		}
@@ -215,6 +237,29 @@ func parseFlags(args []string) (options, error) {
 		if o.rate != 0 || o.maxInFlight != 0 || o.parallelism != 0 {
 			return o, fmt.Errorf("-rate, -max-inflight and -parallelism shape the -selfserve server; with -addr, configure fxrzd itself")
 		}
+		if o.shards != 1 {
+			return o, fmt.Errorf("-shards shapes the -selfserve cluster; with -addr, list the ring's instances explicitly")
+		}
+	}
+	if o.shards < 1 {
+		return o, fmt.Errorf("-shards must be >= 1, got %d", o.shards)
+	}
+	if o.shardOut != "" {
+		if !o.selfserve {
+			return o, fmt.Errorf("-shard-out needs -selfserve (it mounts both clusters in-process)")
+		}
+		if o.shards < 2 {
+			return o, fmt.Errorf("-shard-out compares 1 shard against -shards, so -shards must be >= 2")
+		}
+		if o.batch < 2 {
+			return o, fmt.Errorf("-shard-out measures the /v1/*-many scatter path; set -batch >= 2")
+		}
+		if o.outPath != "" {
+			return o, fmt.Errorf("-shard-out and -out are mutually exclusive (one baseline per run)")
+		}
+	}
+	if o.overheadCap < 0 {
+		return o, fmt.Errorf("-overhead-cap must be >= 0, got %g", o.overheadCap)
 	}
 	if o.target < 0 {
 		return o, fmt.Errorf("-target must be >= 0, got %g", o.target)
@@ -250,11 +295,10 @@ type sample struct {
 	us     int64
 }
 
-// startSelfServe trains a tiny model, saves it under o.model, and mounts a
-// real fxrzd handler on a loopback listener. The returned framework lets the
-// caller derive a target ratio; shutdown drains the server and removes the
-// model directory.
-func startSelfServe(o options, stderr io.Writer) (base string, fw *fxrz.Framework, shutdown func(), err error) {
+// trainSelfServe trains the tiny self-serve model once and saves it under
+// o.model in a fresh temp dir every in-process instance mounts. cleanup
+// removes the dir.
+func trainSelfServe(o options, stderr io.Writer) (dir string, fw *fxrz.Framework, cleanup func(), err error) {
 	fmt.Fprintln(stderr, "fxrzload: training the self-serve model (small forest, once)")
 	var fields []*fxrz.Field
 	for _, ts := range []int{1, 3, 5} {
@@ -272,45 +316,70 @@ func startSelfServe(o options, stderr io.Writer) (base string, fw *fxrz.Framewor
 	if err != nil {
 		return "", nil, nil, fmt.Errorf("training the self-serve model: %w", err)
 	}
-	dir, err := os.MkdirTemp("", "fxrzload-models-")
+	dir, err = os.MkdirTemp("", "fxrzload-models-")
 	if err != nil {
 		return "", nil, nil, err
 	}
-	cleanupDir := func() { _ = os.RemoveAll(dir) }
+	cleanup = func() { _ = os.RemoveAll(dir) }
 	var buf bytes.Buffer
 	if err := fw.Save(&buf); err != nil {
-		cleanupDir()
+		cleanup()
 		return "", nil, nil, err
 	}
 	if err := os.WriteFile(filepath.Join(dir, o.model+".fxm"), buf.Bytes(), 0o644); err != nil {
-		cleanupDir()
+		cleanup()
 		return "", nil, nil, err
+	}
+	return dir, fw, cleanup, nil
+}
+
+// startCluster mounts nShards in-process fxrzd instances over the trained
+// model dir. With nShards > 1 the listeners are bound before any server
+// starts, so every instance opens knowing the full peer list and its own
+// base — the same static-ring contract as fxrzd -peers/-self. shutdown
+// drains them all.
+func startCluster(o options, dir string, nShards int) (bases []string, shutdown func(), err error) {
+	lns := make([]net.Listener, nShards)
+	bases = make([]string, nShards)
+	for i := range lns {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			for _, l := range lns[:i] {
+				_ = l.Close()
+			}
+			return nil, nil, lerr
+		}
+		lns[i] = ln
+		bases[i] = "http://" + ln.Addr().String()
 	}
 	maxBatch := 64
 	if o.batch > maxBatch {
 		maxBatch = o.batch
 	}
-	s := serve.NewServer(serve.Config{
-		ModelsDir:     dir,
-		MaxInFlight:   o.maxInFlight,
-		Parallelism:   o.parallelism,
-		RatePerClient: o.rate,
-		MaxBatch:      maxBatch,
-	})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		cleanupDir()
-		return "", nil, nil, err
+	srvs := make([]*http.Server, nShards)
+	for i := range lns {
+		cfg := serve.Config{
+			ModelsDir:     dir,
+			MaxInFlight:   o.maxInFlight,
+			Parallelism:   o.parallelism,
+			RatePerClient: o.rate,
+			MaxBatch:      maxBatch,
+		}
+		if nShards > 1 {
+			cfg.Peers = append([]string(nil), bases...)
+			cfg.Self = bases[i]
+		}
+		srvs[i] = &http.Server{Handler: serve.NewServer(cfg).Handler()}
+		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(srvs[i], lns[i])
 	}
-	srv := &http.Server{Handler: s.Handler()}
-	go func() { _ = srv.Serve(ln) }()
 	shutdown = func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
-		cleanupDir()
+		for _, hs := range srvs {
+			_ = hs.Shutdown(ctx)
+		}
 	}
-	return "http://" + ln.Addr().String(), fw, shutdown, nil
+	return bases, shutdown, nil
 }
 
 // regionQuery builds an interior half-extent box per dimension
@@ -355,11 +424,16 @@ func warmupPack(client *http.Client, packURL string, body []byte) ([]byte, error
 // doBatchRequest sends n copies of body as one /v1/*-many container and
 // returns one sample per item with the request latency amortized across them.
 // A refused batch (shed, 413, transport failure) yields n samples carrying
-// the outer status so batch-mode shed accounting stays per-item.
-func doBatchRequest(client *http.Client, ep int, url, clientID string, body []byte, n int) []sample {
+// the outer status so batch-mode shed accounting stays per-item. shardKeys
+// gives each item a distinct shard-key param — identical payloads would
+// otherwise all hash to one owner and a sharded target would never scatter.
+func doBatchRequest(client *http.Client, ep int, url, clientID string, body []byte, n int, shardKeys bool) []sample {
 	items := make([]batch.Item, n)
 	for i := range items {
 		items[i] = batch.Item{ID: uint64(i), Payload: body}
+		if shardKeys {
+			items[i].Params = fmt.Sprintf("shard-key=i%d", i)
+		}
 	}
 	req, err := http.NewRequest("POST", url, bytes.NewReader(batch.EncodeRequest(items)))
 	if err != nil {
@@ -492,64 +566,22 @@ func cpuModel() string {
 	return runtime.GOOS + "/" + runtime.GOARCH
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
-	o, err := parseFlags(args)
-	if err != nil {
-		return err
-	}
-	base := o.addr
-	var fw *fxrz.Framework
-	if o.selfserve {
-		var shutdown func()
-		base, fw, shutdown, err = startSelfServe(o, stderr)
-		if err != nil {
-			return err
-		}
-		defer shutdown()
-	}
-
-	// The workload field: a time step the self-serve model never trained on.
-	f, err := datagen.NyxField("baryon_density", 2, 2, o.size)
-	if err != nil {
-		return err
-	}
-	var fieldBuf bytes.Buffer
-	if err := fieldio.Write(&fieldBuf, f); err != nil {
-		return err
-	}
-	fieldBytes := fieldBuf.Bytes()
-	target := o.target
-	if target == 0 {
-		lo, hi := fw.ValidRatioRange(f)
-		target = lo + 0.5*(hi-lo)
-	}
-
-	// Keep-alive pool sized to the worker count: with the default transport
-	// (MaxIdleConnsPerHost 2) most workers would re-dial per request and the
-	// measured latencies would include connection setup, not serving.
-	idle := o.concurrency + 2
-	client := &http.Client{Transport: &http.Transport{
+// newLoadClient builds the shared HTTP client: keep-alive pool sized to the
+// worker count — with the default transport (MaxIdleConnsPerHost 2) most
+// workers would re-dial per request and the measured latencies would include
+// connection setup, not serving.
+func newLoadClient(concurrency int) (*http.Client, int) {
+	idle := concurrency + 2
+	return &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        2 * idle,
 		MaxIdleConnsPerHost: idle,
-	}}
-	packURL := fmt.Sprintf("%s/v1/pack?model=%s&target=%g", base, o.model, target)
-	estimateURL := fmt.Sprintf("%s/v1/estimate?model=%s&target=%g", base, o.model, target)
-	unpackURL := base + "/v1/unpack"
-	regionURL := unpackURL + "?region=" + regionQuery(f.Dims)
-	// Batch mode drives the same mix through the /v1/*-many endpoints.
-	packManyURL := fmt.Sprintf("%s/v1/pack-many?model=%s&target=%g", base, o.model, target)
-	estimateManyURL := fmt.Sprintf("%s/v1/estimate-many?model=%s&target=%g", base, o.model, target)
-	unpackManyURL := base + "/v1/unpack-many"
-	regionManyURL := unpackManyURL + "?region=" + regionQuery(f.Dims)
-	blob, err := warmupPack(client, packURL, fieldBytes)
-	if err != nil {
-		return fmt.Errorf("warmup pack: %w", err)
-	}
-	fmt.Fprintf(stderr, "fxrzload: driving %s for %v at concurrency %d (mix %s, target %.3g, %d-byte blob)\n",
-		base, o.duration, o.concurrency, o.mix.raw, target, len(blob))
+	}}, idle
+}
 
-	// The measured window: each worker owns a seeded RNG and a rate-limiter
-	// identity, and loops the mix until the deadline.
+// driveWindow runs the measured window: each worker owns a seeded RNG, a
+// rate-limiter identity, and one target (round-robin over targets), and
+// loops the mix until the deadline.
+func driveWindow(o options, client *http.Client, targets []string, fieldBytes, blob []byte, target float64, region string, shardKeys bool) ([][]sample, time.Duration) {
 	perWorker := make([][]sample, o.concurrency)
 	deadline := time.Now().Add(o.duration)
 	start := time.Now()
@@ -558,6 +590,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			base := targets[w%len(targets)]
+			packURL := fmt.Sprintf("%s/v1/pack?model=%s&target=%g", base, o.model, target)
+			estimateURL := fmt.Sprintf("%s/v1/estimate?model=%s&target=%g", base, o.model, target)
+			unpackURL := base + "/v1/unpack"
+			regionURL := unpackURL + "?region=" + region
+			packManyURL := fmt.Sprintf("%s/v1/pack-many?model=%s&target=%g", base, o.model, target)
+			estimateManyURL := fmt.Sprintf("%s/v1/estimate-many?model=%s&target=%g", base, o.model, target)
+			unpackManyURL := base + "/v1/unpack-many"
+			regionManyURL := unpackManyURL + "?region=" + region
 			rng := rand.New(rand.NewSource(o.seed + int64(w)))
 			clientID := fmt.Sprintf("load-%d", w)
 			var out []sample
@@ -567,15 +608,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 					var batched []sample
 					switch ep := o.mix.pick(rng); ep {
 					case epEstimate:
-						batched = doBatchRequest(client, ep, estimateManyURL, clientID, fieldBytes, o.batch)
+						batched = doBatchRequest(client, ep, estimateManyURL, clientID, fieldBytes, o.batch, shardKeys)
 					case epUnpack:
 						url := unpackManyURL
 						if rng.Float64() < o.regionFrac {
 							url = regionManyURL
 						}
-						batched = doBatchRequest(client, ep, url, clientID, blob, o.batch)
+						batched = doBatchRequest(client, ep, url, clientID, blob, o.batch, shardKeys)
 					case epPack:
-						batched = doBatchRequest(client, ep, packManyURL, clientID, fieldBytes, o.batch)
+						batched = doBatchRequest(client, ep, packManyURL, clientID, fieldBytes, o.batch, shardKeys)
 					}
 					out = append(out, batched...)
 					last = batched[len(batched)-1]
@@ -603,16 +644,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return perWorker, time.Since(start)
+}
 
-	// Aggregate per endpoint; percentiles are over OK latencies only (a shed
-	// 429 returns in microseconds and would flatter the tail).
-	type epAgg struct {
-		requests, ok, shed, errors int
-		okUS                       []int64
-	}
+// epAgg is one endpoint's (or the run's) outcome counts plus OK latencies.
+type epAgg struct {
+	requests, ok, shed, errors int
+	okUS                       []int64
+}
+
+// aggregate folds samples per endpoint; percentiles are over OK latencies
+// only (a shed 429 returns in microseconds and would flatter the tail).
+// allOK is every OK latency across endpoints, sorted, for run-wide
+// percentiles.
+func aggregate(caps map[string]float64, perWorker [][]sample) (entries []endpointEntry, total epAgg, allOK []int64) {
 	var agg [numEndpoints]epAgg
-	total := epAgg{}
 	for _, samples := range perWorker {
 		for _, s := range samples {
 			a := &agg[s.ep]
@@ -628,12 +674,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
-	var entries []endpointEntry
 	for ep, a := range agg {
 		total.requests += a.requests
 		total.ok += a.ok
 		total.shed += a.shed
 		total.errors += a.errors
+		allOK = append(allOK, a.okUS...)
 		if a.requests == 0 {
 			continue
 		}
@@ -648,9 +694,68 @@ func run(args []string, stdout, stderr io.Writer) error {
 			P90MS:    percentileMS(a.okUS, 0.90),
 			P99MS:    percentileMS(a.okUS, 0.99),
 			MaxMS:    percentileMS(a.okUS, 1),
-			P99CapMS: o.caps[epNames[ep]],
+			P99CapMS: caps[epNames[ep]],
 		})
 	}
+	sort.Slice(allOK, func(i, j int) bool { return allOK[i] < allOK[j] })
+	return entries, total, allOK
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	if o.shardOut != "" {
+		return runShardCompare(o, stdout, stderr)
+	}
+	targets := o.targets
+	var fw *fxrz.Framework
+	if o.selfserve {
+		dir, fw2, cleanup, terr := trainSelfServe(o, stderr)
+		if terr != nil {
+			return terr
+		}
+		defer cleanup()
+		bases, shutdown, cerr := startCluster(o, dir, o.shards)
+		if cerr != nil {
+			return cerr
+		}
+		defer shutdown()
+		targets, fw = bases, fw2
+	}
+
+	// The workload field: a time step the self-serve model never trained on.
+	f, err := datagen.NyxField("baryon_density", 2, 2, o.size)
+	if err != nil {
+		return err
+	}
+	var fieldBuf bytes.Buffer
+	if err := fieldio.Write(&fieldBuf, f); err != nil {
+		return err
+	}
+	fieldBytes := fieldBuf.Bytes()
+	target := o.target
+	if target == 0 {
+		lo, hi := fw.ValidRatioRange(f)
+		target = lo + 0.5*(hi-lo)
+	}
+
+	client, idle := newLoadClient(o.concurrency)
+	region := regionQuery(f.Dims)
+	packURL := fmt.Sprintf("%s/v1/pack?model=%s&target=%g", targets[0], o.model, target)
+	blob, err := warmupPack(client, packURL, fieldBytes)
+	if err != nil {
+		return fmt.Errorf("warmup pack: %w", err)
+	}
+	fmt.Fprintf(stderr, "fxrzload: driving %s for %v at concurrency %d (mix %s, target %.3g, %d-byte blob)\n",
+		strings.Join(targets, ","), o.duration, o.concurrency, o.mix.raw, target, len(blob))
+
+	// Distinct per-item shard keys whenever the target side can scatter:
+	// the selfserve ring when sharded, or several external bases.
+	shardKeys := o.batch > 1 && (o.shards > 1 || len(targets) > 1)
+	perWorker, elapsed := driveWindow(o, client, targets, fieldBytes, blob, target, region, shardKeys)
+	entries, total, _ := aggregate(o.caps, perWorker)
 	shedFrac := 0.0
 	if total.requests > 0 {
 		shedFrac = float64(total.shed) / float64(total.requests)
@@ -677,6 +782,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		note := fmt.Sprintf("single-run percentiles from fxrzload (mix %s, concurrency %d); http keep-alive transport with MaxIdleConnsPerHost=%d (>= %d workers, no per-request re-dial); shared hardware, treat absolute latencies as indicative", o.mix.raw, o.concurrency, idle, o.concurrency)
 		if o.batch > 1 {
 			note += fmt.Sprintf("; batch=%d via /v1/*-many, latencies amortized per item", o.batch)
+		}
+		if o.shards > 1 {
+			note += fmt.Sprintf("; selfserve shard ring of %d instances, workers round-robin across bases", o.shards)
+		} else if len(targets) > 1 {
+			note += fmt.Sprintf("; %d external bases, workers round-robin across them", len(targets))
 		}
 		if o.note != "" {
 			note += "; " + o.note
@@ -714,6 +824,138 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if total.ok == 0 {
 		return fmt.Errorf("no request succeeded — nothing to measure")
+	}
+	return nil
+}
+
+// The shard-comparison baseline shapes benchguard's shard schema validates.
+type shardRun struct {
+	Shards    int     `json:"shards"`
+	DurationS float64 `json:"duration_s"`
+	Items     int     `json:"items"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	ItemP50MS float64 `json:"item_p50_ms"`
+	ItemP99MS float64 `json:"item_p99_ms"`
+}
+
+type shardSummary struct {
+	Mix         string     `json:"mix"`
+	Batch       int        `json:"batch"`
+	Concurrency int        `json:"concurrency"`
+	Runs        []shardRun `json:"runs"`
+	OverheadP50 float64    `json:"overhead_p50"`
+	OverheadCap float64    `json:"overhead_cap,omitempty"`
+}
+
+type shardReport struct {
+	Benchmark string       `json:"benchmark"`
+	Date      string       `json:"date"`
+	Runner    runnerInfo   `json:"runner"`
+	Shard     shardSummary `json:"shard"`
+}
+
+// runShardCompare measures what scatter-gather fan-out costs: the same batch
+// workload against one instance and then a -shards ring (same trained model,
+// same mix, same concurrency), amortized per-item percentiles for each, and
+// the sharded/single p50 ratio recorded as the overhead a deployment pays
+// for routing. Items carry distinct shard keys so batches actually split.
+func runShardCompare(o options, stdout, stderr io.Writer) error {
+	dir, fw, cleanup, err := trainSelfServe(o, stderr)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	f, err := datagen.NyxField("baryon_density", 2, 2, o.size)
+	if err != nil {
+		return err
+	}
+	var fieldBuf bytes.Buffer
+	if err := fieldio.Write(&fieldBuf, f); err != nil {
+		return err
+	}
+	fieldBytes := fieldBuf.Bytes()
+	target := o.target
+	if target == 0 {
+		lo, hi := fw.ValidRatioRange(f)
+		target = lo + 0.5*(hi-lo)
+	}
+	region := regionQuery(f.Dims)
+
+	var runs []shardRun
+	for _, n := range []int{1, o.shards} {
+		bases, shutdown, err := startCluster(o, dir, n)
+		if err != nil {
+			return err
+		}
+		client, _ := newLoadClient(o.concurrency)
+		packURL := fmt.Sprintf("%s/v1/pack?model=%s&target=%g", bases[0], o.model, target)
+		blob, err := warmupPack(client, packURL, fieldBytes)
+		if err != nil {
+			shutdown()
+			return fmt.Errorf("warmup pack (%d shard(s)): %w", n, err)
+		}
+		fmt.Fprintf(stderr, "fxrzload: driving %d shard(s) for %v at concurrency %d (batch %d, mix %s)\n",
+			n, o.duration, o.concurrency, o.batch, o.mix.raw)
+		perWorker, elapsed := driveWindow(o, client, bases, fieldBytes, blob, target, region, n > 1)
+		shutdown()
+		_, total, allOK := aggregate(o.caps, perWorker)
+		if total.errors > 0 {
+			return fmt.Errorf("%d item(s) failed on the %d-shard run — the baseline is not clean", total.errors, n)
+		}
+		if total.ok == 0 {
+			return fmt.Errorf("no item succeeded on the %d-shard run — nothing to measure", n)
+		}
+		runs = append(runs, shardRun{
+			Shards:    n,
+			DurationS: math.Round(elapsed.Seconds()*100) / 100,
+			Items:     total.requests,
+			OK:        total.ok,
+			Shed:      total.shed,
+			Errors:    total.errors,
+			ItemP50MS: percentileMS(allOK, 0.50),
+			ItemP99MS: percentileMS(allOK, 0.99),
+		})
+	}
+
+	overhead := 0.0
+	if runs[0].ItemP50MS > 0 {
+		overhead = math.Round(runs[1].ItemP50MS/runs[0].ItemP50MS*100) / 100
+	}
+	for _, r := range runs {
+		fmt.Fprintf(stdout, "  %d shard(s): %6d items  %6d ok  %5d shed  item p50 %8.3fms  p99 %8.3fms\n",
+			r.Shards, r.Items, r.OK, r.Shed, r.ItemP50MS, r.ItemP99MS)
+	}
+	fmt.Fprintf(stdout, "  scatter-gather per-item p50 overhead: %.2fx\n", overhead)
+
+	note := fmt.Sprintf("amortized per-item latencies over /v1/*-many (batch %d, mix %s, concurrency %d); the sharded run pays one loopback forward per remote sub-batch, so the overhead ratio is routing cost, not network distance; shared hardware, treat absolute latencies as indicative", o.batch, o.mix.raw, o.concurrency)
+	if o.note != "" {
+		note += "; " + o.note
+	}
+	rep := shardReport{
+		Benchmark: "fxrzd sharded serving tier (fxrzload -shard-out)",
+		Date:      time.Now().Format("2006-01-02"),
+		Runner:    runnerInfo{CPU: cpuModel(), Cores: runtime.NumCPU(), Note: note},
+		Shard: shardSummary{
+			Mix:         o.mix.raw,
+			Batch:       o.batch,
+			Concurrency: o.concurrency,
+			Runs:        runs,
+			OverheadP50: overhead,
+			OverheadCap: o.overheadCap,
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.shardOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "fxrzload: wrote %s\n", o.shardOut)
+	if o.overheadCap > 0 && overhead > o.overheadCap {
+		return fmt.Errorf("scatter-gather p50 overhead %.2fx exceeds the %.2fx cap", overhead, o.overheadCap)
 	}
 	return nil
 }

@@ -60,11 +60,40 @@ func TestParseFlagsRejections(t *testing.T) {
 		"negative parallelism":   {"-selfserve", "-parallelism", "-1"},
 		"negative selfserv rate": {"-selfserve", "-rate", "-1"},
 		"zero batch":             {"-selfserve", "-batch", "0"},
+		"zero shards":            {"-selfserve", "-shards", "0"},
+		"shards with addr":       {"-addr", "http://x", "-model", "m", "-target", "8", "-shards", "2"},
+		"empty addr entry":       {"-addr", "http://x,,http://y", "-model", "m", "-target", "8"},
+		"shard-out no selfserve": {"-addr", "http://x", "-model", "m", "-target", "8", "-shard-out", "b.json"},
+		"shard-out one shard":    {"-selfserve", "-batch", "4", "-shard-out", "b.json"},
+		"shard-out no batch":     {"-selfserve", "-shards", "2", "-shard-out", "b.json"},
+		"shard-out plus out":     {"-selfserve", "-shards", "2", "-batch", "4", "-shard-out", "b.json", "-out", "c.json"},
+		"negative overhead cap":  {"-selfserve", "-shards", "2", "-batch", "4", "-shard-out", "b.json", "-overhead-cap", "-1"},
 	}
 	for name, args := range cases {
 		if _, err := parseFlags(args); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestParseFlagsMultiAddr(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", "http://a:1, http://b:2", "-model", "m", "-target", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.targets) != 2 || o.targets[0] != "http://a:1" || o.targets[1] != "http://b:2" {
+		t.Errorf("targets = %v (whitespace around commas must be trimmed)", o.targets)
+	}
+}
+
+func TestParseFlagsShardCompare(t *testing.T) {
+	o, err := parseFlags([]string{"-selfserve", "-shards", "3", "-batch", "8",
+		"-shard-out", "b.json", "-overhead-cap", "2.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.shards != 3 || o.shardOut != "b.json" || o.overheadCap != 2.5 {
+		t.Errorf("shard options = shards=%d shardOut=%q cap=%g", o.shards, o.shardOut, o.overheadCap)
 	}
 }
 
@@ -261,5 +290,53 @@ func TestEndToEndSelfServeBatch(t *testing.T) {
 	}
 	if !strings.Contains(rep.Runner.Note, "batch=4") || !strings.Contains(rep.Runner.Note, "MaxIdleConnsPerHost") {
 		t.Errorf("runner note does not record the batch mode and transport: %q", rep.Runner.Note)
+	}
+}
+
+// TestEndToEndShardCompare runs the 1-vs-N comparison mode: both runs must be
+// clean, the baseline must carry one entry per shard count, and the recorded
+// overhead must match the two runs' p50 ratio.
+func TestEndToEndShardCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and drives two clusters")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	err := run([]string{
+		"-selfserve", "-shards", "2", "-batch", "4",
+		"-duration", "300ms", "-concurrency", "2",
+		"-size", "16", "-seed", "7", "-mix", "80:10:10",
+		"-shard-out", out,
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep shardReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shard.Runs) != 2 || rep.Shard.Runs[0].Shards != 1 || rep.Shard.Runs[1].Shards != 2 {
+		t.Fatalf("runs = %+v, want shards 1 then 2", rep.Shard.Runs)
+	}
+	for _, r := range rep.Shard.Runs {
+		if r.Items == 0 || r.OK == 0 || r.Errors != 0 {
+			t.Errorf("%d-shard run not clean: %+v", r.Shards, r)
+		}
+		if r.Items != r.OK+r.Shed+r.Errors {
+			t.Errorf("%d-shard counts inconsistent: %+v", r.Shards, r)
+		}
+		if !(r.ItemP50MS > 0 && r.ItemP50MS <= r.ItemP99MS) {
+			t.Errorf("%d-shard percentiles not monotone: %+v", r.Shards, r)
+		}
+	}
+	want := rep.Shard.Runs[1].ItemP50MS / rep.Shard.Runs[0].ItemP50MS
+	if got := rep.Shard.OverheadP50; got < want-0.011 || got > want+0.011 {
+		t.Errorf("overhead = %g, want ~%g (p50 ratio of the two runs)", got, want)
+	}
+	if rep.Runner.Cores <= 0 || rep.Runner.Note == "" || rep.Benchmark == "" || rep.Date == "" {
+		t.Errorf("report header incomplete: %+v", rep)
 	}
 }

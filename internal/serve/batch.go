@@ -33,6 +33,8 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
+	"time"
 
 	fxrz "github.com/fxrz-go/fxrz"
 	"github.com/fxrz-go/fxrz/internal/batch"
@@ -42,6 +44,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/pool"
 	"github.com/fxrz-go/fxrz/internal/ratelimit"
 	"github.com/fxrz-go/fxrz/internal/roi"
+	"github.com/fxrz-go/fxrz/internal/shard"
 )
 
 // itemsPerSlot converts batch sizes to admission cost per class: how many
@@ -112,34 +115,29 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, ep string, c
 			fmt.Errorf("batch of %d items exceeds the %d-item limit; split the request", n, s.cfg.MaxBatch))
 		return
 	}
-	if ok, retry := s.limits.AllowN(clientID(r), n); !ok {
-		obs.Inc("serve/rejected/ratelimit")
-		w.Header().Set("Retry-After", strconv.Itoa(ratelimit.RetryAfterSeconds(retry)))
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("batch of %d items over the client's %g req/s rate limit", n, s.cfg.RatePerClient))
-		return
-	}
-	cost := s.batchCost(class, n)
-	if !s.admit.TryAcquireN(class, cost) {
-		obs.Inc("serve/rejected/overload")
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("server at capacity for %s requests (%d of %d slots in use, batch needs %d)",
-				qosClasses[class].Name, s.admit.Total(), s.admit.Capacity(), cost))
-		return
-	}
-	defer s.admit.ReleaseN(class, cost)
-	obs.AddGauge("serve/inflight", int64(cost))
-	obs.MaxGauge("serve/inflight_peak", int64(s.admit.Total()))
-	defer obs.AddGauge("serve/inflight", int64(-cost))
-	obs.Add("serve/batch/items/"+ep, int64(n))
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	// The request budget: the configured timeout, clamped to the remaining
+	// deadline a forwarding shard propagated — a sub-batch never outlives
+	// the client request that spawned it.
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
 	defer cancel()
-	results := make([]batch.Result, n)
-	// The batch ticket holds cost slots, so it is entitled to cost slots'
-	// worth of intra-field workers, split across the items.
-	run(ctx, r, items, results, cost*s.inner)
+	var results []batch.Result
+	if s.router != nil && r.Header.Get(shard.ForwardedHeader) == "" {
+		// Entry shard of a ring: split by owner, forward remote sub-batches,
+		// run the local slice under the usual charges. Refusals become
+		// per-item statuses — the merged response itself stays 200.
+		results = s.scatterBatch(ctx, r, ep, class, items, run)
+	} else {
+		// Single instance, or a forwarded sub-batch (every item is ours by
+		// construction): charge and run the whole batch; a refusal refuses
+		// the batch outright.
+		var ref *batchRefusal
+		results, ref = s.localBatch(ctx, r, ep, class, items, run)
+		if ref != nil {
+			w.Header().Set("Retry-After", ref.retryAfter)
+			writeError(w, ref.status, ref.err)
+			return
+		}
+	}
 	okCount := 0
 	for i := range results {
 		if results[i].Status < 400 {
@@ -152,6 +150,118 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, ep string, c
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
 	_, _ = w.Write(out)
+}
+
+// requestTimeout is the configured per-request budget, clamped to a
+// forwarded deadline (shard.DeadlineHeader, microseconds) when one arrived.
+func (s *Server) requestTimeout(r *http.Request) time.Duration {
+	d := s.cfg.Timeout
+	if v := r.Header.Get(shard.DeadlineHeader); v != "" {
+		if us, err := strconv.ParseInt(v, 10, 64); err == nil && us > 0 {
+			if fwd := time.Duration(us) * time.Microsecond; fwd < d {
+				d = fwd
+			}
+		}
+	}
+	return d
+}
+
+// batchRefusal is a whole-batch shed: the outer status and Retry-After the
+// single-instance path writes, or — on the entry shard of a ring — the
+// per-item status the local slice of a scatter-gather batch carries.
+type batchRefusal struct {
+	status     int
+	retryAfter string
+	err        error
+}
+
+// localBatch charges the rate limit and QoS admission for items and runs
+// them, returning one result per item — or the refusal, when the batch is
+// shed before any work happens.
+func (s *Server) localBatch(ctx context.Context, r *http.Request, ep string, class int, items []batch.Item, run batchRunner) ([]batch.Result, *batchRefusal) {
+	n := len(items)
+	if ok, retry := s.limits.AllowN(clientID(r), n); !ok {
+		obs.Inc("serve/rejected/ratelimit")
+		return nil, &batchRefusal{
+			status:     http.StatusTooManyRequests,
+			retryAfter: strconv.Itoa(ratelimit.RetryAfterSeconds(retry)),
+			err:        fmt.Errorf("batch of %d items over the client's %g req/s rate limit", n, s.cfg.RatePerClient),
+		}
+	}
+	cost := s.batchCost(class, n)
+	if !s.admit.TryAcquireN(class, cost) {
+		obs.Inc("serve/rejected/overload")
+		return nil, &batchRefusal{
+			status:     http.StatusTooManyRequests,
+			retryAfter: "1",
+			err: fmt.Errorf("server at capacity for %s requests (%d of %d slots in use, batch needs %d)",
+				qosClasses[class].Name, s.admit.Total(), s.admit.Capacity(), cost),
+		}
+	}
+	defer s.admit.ReleaseN(class, cost)
+	obs.AddGauge("serve/inflight", int64(cost))
+	obs.MaxGauge("serve/inflight_peak", int64(s.admit.Total()))
+	defer obs.AddGauge("serve/inflight", int64(-cost))
+	obs.Add("serve/batch/items/"+ep, int64(n))
+
+	results := make([]batch.Result, n)
+	// The batch ticket holds cost slots, so it is entitled to cost slots'
+	// worth of intra-field workers, split across the items.
+	run(ctx, r, items, results, cost*s.inner)
+	return results, nil
+}
+
+// scatterBatch routes one batch across the shard ring: items are keyed
+// (explicit shard-key param, else model, else payload hash — shard.ItemKey),
+// partitioned by rendezvous-hashed owner, and the remote sub-batches
+// forwarded concurrently while the local slice runs under this instance's
+// own rate-limit and admission charges. Per-item statuses merge back into
+// one response: a dead peer 503s its own items, a corrupt peer response
+// 400s its sub-batch, a local shed 429s the local slice — healthy items
+// always survive.
+func (s *Server) scatterBatch(ctx context.Context, r *http.Request, ep string, class int, items []batch.Item, run batchRunner) []batch.Result {
+	n := len(items)
+	base := r.URL.Query()
+	keys := make([]string, n)
+	for i, it := range items {
+		iq, _ := itemQuery(it) // a bad params string keys by payload; the item still fails with 400 where it runs
+		keys[i] = shard.ItemKey(func(k string) string { return mergedGet(base, iq, k) }, it.Payload)
+	}
+	local, remote := s.router.Partition(keys)
+	results := make([]batch.Result, n)
+	pathQ := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathQ += "?" + r.URL.RawQuery
+	}
+
+	var fwd sync.WaitGroup
+	if len(remote) > 0 {
+		fwd.Add(1)
+		go func() {
+			defer fwd.Done()
+			s.router.Scatter(ctx, pathQ, clientID(r), items, remote, results)
+		}()
+	}
+	if len(local) > 0 {
+		sub := make([]batch.Item, len(local))
+		for j, idx := range local {
+			sub[j] = items[idx]
+		}
+		res, ref := s.localBatch(ctx, r, ep, class, sub, run)
+		if ref != nil {
+			for _, idx := range local {
+				results[idx] = batch.Result{ID: items[idx].ID, Status: ref.status, Payload: []byte(ref.err.Error())}
+			}
+		} else {
+			for j, idx := range local {
+				results[idx] = res[j]
+			}
+		}
+	}
+	fwd.Wait()
+	obs.Inc("shard/merged")
+	obs.Add("shard/local_items", int64(len(local)))
+	return results
 }
 
 // itemResult wraps a per-item outcome: the single-endpoint response bytes on

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	fxrz "github.com/fxrz-go/fxrz"
 	"github.com/fxrz-go/fxrz/internal/obs"
@@ -26,6 +27,12 @@ const modelExt = ".fxm"
 type Registry struct {
 	dir      string
 	capacity int
+
+	// hits and misses mirror the serve/model_cache obs counters as native
+	// fields, so /healthz can report cache effectiveness (a load balancer
+	// weighting shards) without obs being enabled.
+	hits   atomic.Int64
+	misses atomic.Int64
 
 	mu     sync.Mutex
 	loaded map[string]*regEntry
@@ -100,6 +107,7 @@ func (r *Registry) Get(ctx context.Context, id string) (*fxrz.Framework, error) 
 	if e, ok := r.loaded[id]; ok {
 		r.touch(id)
 		r.mu.Unlock()
+		r.hits.Add(1)
 		obs.Inc("serve/model_cache/hits")
 		return e.fw, nil
 	}
@@ -117,6 +125,7 @@ func (r *Registry) Get(ctx context.Context, id string) (*fxrz.Framework, error) 
 	r.flight[id] = c
 	r.mu.Unlock()
 
+	r.misses.Add(1)
 	obs.Inc("serve/model_cache/misses")
 	c.fw, c.err = r.loadFromDisk(id)
 
@@ -221,6 +230,12 @@ func (r *Registry) List() ([]ModelInfo, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
+}
+
+// Stats returns the lifetime cache hit and miss counts (the healthz
+// endpoint; joins of an in-flight load count as neither).
+func (r *Registry) Stats() (hits, misses int64) {
+	return r.hits.Load(), r.misses.Load()
 }
 
 // Resident returns the IDs of the currently cached models (tests and the

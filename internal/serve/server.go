@@ -43,6 +43,7 @@ import (
 	"github.com/fxrz-go/fxrz/internal/pool"
 	"github.com/fxrz-go/fxrz/internal/qos"
 	"github.com/fxrz-go/fxrz/internal/ratelimit"
+	"github.com/fxrz-go/fxrz/internal/shard"
 )
 
 // The QoS class roster, in priority order. Estimate is the paper's
@@ -64,8 +65,9 @@ var qosClasses = []qos.Class{
 }
 
 // ClientHeader names the request header that identifies a client to the
-// rate limiter; requests without it are keyed by remote address.
-const ClientHeader = "X-Fxrz-Client"
+// rate limiter; requests without it are keyed by remote address. The shard
+// router forwards it on sub-batches so every shard charges the same client.
+const ClientHeader = shard.ClientHeader
 
 // Config sizes the server's serving limits. The zero value of every field
 // selects a production-safe default.
@@ -101,6 +103,13 @@ type Config struct {
 	// Larger batches get 413 — the client splits, instead of one request
 	// monopolising the admission pool.
 	MaxBatch int
+	// Peers is the static shard ring: the base URLs of every fxrzd
+	// instance, this one included. When set, incoming /v1/*-many batches
+	// are split by rendezvous-hashed owner and the remote sub-batches
+	// forwarded (internal/shard); empty means single-instance serving.
+	Peers []string
+	// Self is this instance's own entry in Peers (required with Peers).
+	Self string
 }
 
 func (c Config) withDefaults() Config {
@@ -129,28 +138,47 @@ type Server struct {
 	reg    *Registry
 	admit  *qos.Controller
 	limits *ratelimit.Limiter
+	// router scatter-gathers /v1/*-many batches across the shard ring;
+	// nil when Config.Peers is empty (single-instance serving).
+	router *shard.Router
 	// inner is the per-request intra-field worker budget under full
 	// admission, per the pool.Split rule.
 	inner int
 }
 
-// NewServer builds a server from cfg (see Config for defaults).
+// NewServer builds a server from cfg (see Config for defaults). An invalid
+// shard ring (Self missing from Peers, duplicates) panics: commands
+// validate the peer list at flag-parse time with shard.NewRing, so reaching
+// NewServer with a bad ring is a programming error.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	_, inner := pool.Split(pool.Workers(cfg.Parallelism), cfg.MaxInFlight)
 	obs.SetGauge("serve/admission_slots", int64(cfg.MaxInFlight))
 	obs.SetGauge("serve/workers_per_request", int64(inner))
+	var router *shard.Router
+	if len(cfg.Peers) > 0 {
+		var err error
+		router, err = shard.NewRouter(shard.Options{Self: cfg.Self, Peers: cfg.Peers})
+		if err != nil {
+			panic(fmt.Sprintf("serve: invalid shard ring: %v", err))
+		}
+	}
 	return &Server{
 		cfg:    cfg,
 		reg:    NewRegistry(cfg.ModelsDir, cfg.CacheSize),
 		admit:  qos.NewController(cfg.MaxInFlight, qosClasses),
 		limits: ratelimit.New(ratelimit.Config{Rate: cfg.RatePerClient, Burst: cfg.RateBurst}),
+		router: router,
 		inner:  inner,
 	}
 }
 
 // Registry exposes the model cache (cmd/fxrzd logs it; tests inspect it).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// ShardRouter exposes the scatter-gather router — nil without Config.Peers.
+// Tests use it to inject the retry sleeper and attempt timeout.
+func (s *Server) ShardRouter() *shard.Router { return s.router }
 
 // Handler returns the routed handler: the public v1 API plus health and
 // metrics endpoints.
@@ -582,21 +610,57 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 
 // HealthResponse is the JSON body of GET /healthz. Classes reports the QoS
 // admission state per priority class (reserved share and current usage), in
-// priority order.
+// priority order; ModelCache and ModelCount give a load balancer enough to
+// weight shards (a cold cache or an empty models directory serves slower);
+// Shard reports ring membership when multi-instance serving is configured.
 type HealthResponse struct {
 	Status         string            `json:"status"`
 	InFlight       int               `json:"in_flight"`
 	AdmissionSlots int               `json:"admission_slots"`
 	Classes        []qos.ClassStatus `json:"classes"`
+	ModelCount     int               `json:"model_count"`
+	ModelCache     CacheStatus       `json:"model_cache"`
 	ResidentModels []string          `json:"resident_models"`
+	Shard          *ShardStatus      `json:"shard,omitempty"`
+}
+
+// CacheStatus is the model registry's cache accounting in HealthResponse.
+type CacheStatus struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Resident int   `json:"resident"`
+	Capacity int   `json:"capacity"`
+}
+
+// ShardStatus reports the ring membership of a sharded instance.
+type ShardStatus struct {
+	Self  string   `json:"self"`
+	Peers []string `json:"peers"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	hits, misses := s.reg.Stats()
+	modelCount := 0
+	if models, err := s.reg.List(); err == nil {
+		modelCount = len(models)
+	}
+	resp := HealthResponse{
 		Status:         "ok",
 		InFlight:       s.admit.Total(),
 		AdmissionSlots: s.admit.Capacity(),
 		Classes:        s.admit.Status(),
+		ModelCount:     modelCount,
+		ModelCache: CacheStatus{
+			Hits:     hits,
+			Misses:   misses,
+			Resident: len(s.reg.Resident()),
+			Capacity: s.cfg.CacheSize,
+		},
 		ResidentModels: s.reg.Resident(),
-	})
+	}
+	if s.router != nil {
+		ring := s.router.Ring()
+		resp.Shard = &ShardStatus{Self: ring.Self(), Peers: ring.Members()}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fourPeers is a fixed ring roster for the placement properties.
+var fourPeers = []string{
+	"http://10.0.0.1:8080",
+	"http://10.0.0.2:8080",
+	"http://10.0.0.3:8080",
+	"http://10.0.0.4:8080",
+}
+
+// brickKeys generates n synthetic brick IDs.
+func brickKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("nyx/baryon_density/ts42/brick-%05d", i)
+	}
+	return keys
+}
+
+// TestShardRingDeterministic: two rings built from the same list agree on
+// every owner, regardless of the order the peer list arrived in — placement
+// is a pure function of (peer set, key), never of construction order.
+func TestShardRingDeterministic(t *testing.T) {
+	a, err := NewRing(fourPeers[0], fourPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{fourPeers[2], fourPeers[0], fourPeers[3], fourPeers[1]}
+	b, err := NewRing(fourPeers[2], shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range brickKeys(1000) {
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("owner of %q differs across construction orders: %q vs %q", key, ao, bo)
+		}
+	}
+}
+
+// TestShardRingGolden pins a few owners so an accidental change to the hash
+// (or the tie-break) cannot slip through as a silent full reshuffle: every
+// already-deployed ring would disagree with the new code about ownership.
+func TestShardRingGolden(t *testing.T) {
+	r, err := NewRing(fourPeers[0], fourPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"nyx/baryon_density/ts42/brick-00000": "http://10.0.0.4:8080",
+		"nyx/baryon_density/ts42/brick-00001": "http://10.0.0.4:8080",
+		"nyx/baryon_density/ts42/brick-00002": "http://10.0.0.4:8080",
+		"model:nyx-sz":                        "http://10.0.0.2:8080",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want the recorded %q (hash function changed?)", key, got, want)
+		}
+	}
+}
+
+// TestShardRingUniform: over 10k brick IDs and 4 peers, every peer owns
+// within 10% of the fair share — rendezvous hashing with a decent hash has
+// no hot shard.
+func TestShardRingUniform(t *testing.T) {
+	r, err := NewRing(fourPeers[0], fourPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 10000
+	counts := make(map[string]int, len(fourPeers))
+	for _, key := range brickKeys(nKeys) {
+		counts[r.Owner(key)]++
+	}
+	fair := float64(nKeys) / float64(len(fourPeers))
+	for _, p := range fourPeers {
+		got := float64(counts[p])
+		if got < fair*0.9 || got > fair*1.1 {
+			t.Errorf("peer %s owns %d of %d keys; want within 10%% of the fair %.0f", p, counts[p], nKeys, fair)
+		}
+	}
+}
+
+// TestShardRingRelocation: removing one of N peers relocates exactly the
+// keys the removed peer owned (~1/N) and not a single other key — the HRW
+// property that makes a static list workable (a dead peer's share spreads;
+// the rest of the placement map is untouched).
+func TestShardRingRelocation(t *testing.T) {
+	const nKeys = 10000
+	full, err := NewRing(fourPeers[0], fourPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := fourPeers[3]
+	reduced, err := NewRing(fourPeers[0], fourPeers[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	relocated, owned := 0, 0
+	for _, key := range brickKeys(nKeys) {
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == removed {
+			owned++
+			if after == removed {
+				t.Fatalf("key %q still owned by the removed peer", key)
+			}
+			relocated++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %q -> %q although its owner survived: HRW must not reshuffle", key, before, after)
+		}
+	}
+	if relocated != owned {
+		t.Fatalf("relocated %d != keys owned by the removed peer %d", relocated, owned)
+	}
+	fair := float64(nKeys) / float64(len(fourPeers))
+	if f := float64(owned); f < fair*0.9 || f > fair*1.1 {
+		t.Errorf("removed peer owned %d keys; want ~1/N = %.0f (within 10%%)", owned, fair)
+	}
+}
+
+func TestShardRingValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		self  string
+		peers []string
+	}{
+		{"empty list", "a", nil},
+		{"empty entry", "a", []string{"a", ""}},
+		{"duplicate", "a", []string{"a", "b", "b"}},
+		{"self not a member", "c", []string{"a", "b"}},
+	}
+	for _, tc := range cases {
+		if _, err := NewRing(tc.self, tc.peers); err == nil {
+			t.Errorf("%s: NewRing(%q, %v) succeeded, want error", tc.name, tc.self, tc.peers)
+		}
+	}
+	if r, err := NewRing("a", []string{"a"}); err != nil || r.Owner("anything") != "a" {
+		t.Errorf("a ring of one must own everything: ring %v err %v", r, err)
+	}
+}
+
+// TestShardItemKey pins the key-derivation precedence: explicit shard-key,
+// else model, else payload hash — and that equal payloads key equally.
+func TestShardItemKey(t *testing.T) {
+	get := func(m map[string]string) func(string) string {
+		return func(k string) string { return m[k] }
+	}
+	if k := ItemKey(get(map[string]string{"shard-key": "b7", "model": "m"}), nil); k != "b7" {
+		t.Errorf("explicit shard-key must win, got %q", k)
+	}
+	if k := ItemKey(get(map[string]string{"model": "nyx-sz"}), []byte("x")); k != "model:nyx-sz" {
+		t.Errorf("model fallback: got %q", k)
+	}
+	p1 := ItemKey(get(nil), []byte("same bytes"))
+	p2 := ItemKey(get(nil), []byte("same bytes"))
+	p3 := ItemKey(get(nil), []byte("other bytes"))
+	if p1 != p2 || p1 == p3 {
+		t.Errorf("payload hashing: %q vs %q vs %q", p1, p2, p3)
+	}
+}
